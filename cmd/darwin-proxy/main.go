@@ -1,0 +1,104 @@
+// Command darwin-proxy runs the ATS-like CDN caching proxy (§5). The HOC
+// admission policy is either a fixed static expert or Darwin's online
+// controller; in the latter case the offline phase is trained at startup on
+// a synthetic corpus (the prototype equivalent of shipping a pre-trained
+// model to the edge).
+//
+// Usage:
+//
+//	darwin-proxy -addr :8080 -origin http://127.0.0.1:9000 -mode darwin
+//	darwin-proxy -addr :8080 -origin http://127.0.0.1:9000 -mode static -f 2 -s 10240
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"time"
+
+	"darwin/internal/baselines"
+	"darwin/internal/cache"
+	"darwin/internal/core"
+	"darwin/internal/exp"
+	"darwin/internal/server"
+)
+
+func main() {
+	var (
+		addr      = flag.String("addr", ":8080", "listen address")
+		origin    = flag.String("origin", "http://127.0.0.1:9000", "origin base URL")
+		dcLatency = flag.Duration("dc-latency", 2*time.Millisecond, "injected disk-read delay")
+		mode      = flag.String("mode", "darwin", "darwin | static")
+		f         = flag.Int("f", 2, "static expert frequency threshold")
+		s         = flag.Int64("s", 10<<10, "static expert size threshold (bytes)")
+		hoc       = flag.Int64("hoc", 2<<20, "HOC bytes")
+		dc        = flag.Int64("dc", 200<<20, "DC bytes")
+		objective = flag.String("objective", "ohr", "darwin objective: ohr | bmr | combined")
+		modelPath = flag.String("model", "", "pre-trained model file from darwin-train (skips startup training)")
+	)
+	flag.Parse()
+
+	var (
+		dec server.Decider
+		err error
+	)
+	switch *mode {
+	case "static":
+		dec, err = baselines.NewStatic(cache.Expert{Freq: *f, MaxSize: *s},
+			cache.EvalConfig{HOCBytes: *hoc, DCBytes: *dc})
+	case "darwin":
+		var model *core.Model
+		sc := exp.Default()
+		sc.Eval.HOCBytes = *hoc
+		sc.Eval.DCBytes = *dc
+		if *modelPath != "" {
+			var fd *os.File
+			fd, err = os.Open(*modelPath)
+			if err == nil {
+				model, err = core.ReadModel(fd)
+				fd.Close()
+			}
+		} else {
+			fmt.Fprintln(os.Stderr, "darwin-proxy: training offline model on a synthetic corpus...")
+			var c *exp.Corpus
+			c, err = exp.BuildCorpus(sc, *objective)
+			if err == nil {
+				model = c.Model
+			}
+		}
+		if err == nil {
+			if model.FeatureWindow > 0 {
+				sc.Online.Warmup = model.FeatureWindow
+			}
+			var hier *cache.Hierarchy
+			hier, err = cache.New(cache.Config{HOCBytes: *hoc, DCBytes: *dc})
+			if err == nil {
+				dec, err = core.NewController(model, hier, sc.Online)
+			}
+		}
+	default:
+		err = fmt.Errorf("unknown mode %q", *mode)
+	}
+	if err != nil {
+		fatal(err)
+	}
+
+	proxy := server.NewProxy(dec, *origin, *dcLatency)
+	mux := http.NewServeMux()
+	mux.Handle("/obj/", proxy)
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		m := proxy.Metrics()
+		fmt.Fprintf(w, "requests %d\nhoc_hits %d\ndc_hits %d\nmisses %d\nohr %.4f\nbmr %.4f\ndisk_write_bytes %d\n",
+			m.Requests, m.HOCHits, m.DCHits, m.Misses, m.OHR(), m.BMR(), m.DCWriteBytes)
+	})
+	fmt.Fprintf(os.Stderr, "darwin-proxy: %s mode, listening on %s, origin %s\n", *mode, *addr, *origin)
+	if err := http.ListenAndServe(*addr, mux); err != nil {
+		fatal(err)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "darwin-proxy:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,127 @@
+// Command darwin-sim runs the cache simulator on a trace under a chosen
+// policy: a static expert, Darwin (trained on a synthetic corpus or on
+// provided training traces), or one of the adaptive baselines.
+//
+// Usage:
+//
+//	darwin-sim -trace t.txt -policy static -f 3 -s 20480
+//	darwin-sim -trace t.txt -policy darwin -objective ohr
+//	darwin-sim -trace t.txt -policy percentile
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"darwin/internal/baselines"
+	"darwin/internal/cache"
+	"darwin/internal/core"
+	"darwin/internal/exp"
+	"darwin/internal/trace"
+)
+
+func main() {
+	var (
+		tracePath = flag.String("trace", "", "trace file (id size time per line); empty generates a synthetic 50:50 mix")
+		policy    = flag.String("policy", "darwin", "static | darwin | percentile | hillclimbing-1k | hillclimbing-10k | adaptsize | directmapping | tinylfu")
+		f         = flag.Int("f", 2, "static expert frequency threshold")
+		s         = flag.Int64("s", 10<<10, "static expert size threshold (bytes)")
+		hoc       = flag.Int64("hoc", 2<<20, "HOC bytes")
+		dc        = flag.Int64("dc", 200<<20, "DC bytes")
+		warmup    = flag.Float64("warmup", 0.1, "warm-up fraction excluded from metrics")
+		objective = flag.String("objective", "ohr", "darwin objective: ohr | bmr | combined")
+		n         = flag.Int("n", 200000, "synthetic trace length when -trace is empty")
+		seed      = flag.Int64("seed", 7, "synthetic trace seed")
+		modelPath = flag.String("model", "", "pre-trained model from darwin-train (darwin policy only; skips offline training)")
+	)
+	flag.Parse()
+
+	tr, err := loadTrace(*tracePath, *n, *seed)
+	if err != nil {
+		fatal(err)
+	}
+
+	sc := exp.Default()
+	sc.Eval = cache.EvalConfig{HOCBytes: *hoc, DCBytes: *dc, WarmupFrac: *warmup}
+	sc.OnlineTraceLen = tr.Len()
+
+	var m cache.Metrics
+	switch *policy {
+	case "static":
+		m, err = cache.Evaluate(tr, cache.Expert{Freq: *f, MaxSize: *s}, sc.Eval)
+	case "darwin":
+		var model *core.Model
+		if *modelPath != "" {
+			var fd *os.File
+			fd, err = os.Open(*modelPath)
+			if err == nil {
+				model, err = core.ReadModel(fd)
+				fd.Close()
+			}
+		} else {
+			fmt.Fprintln(os.Stderr, "darwin-sim: training Darwin on a synthetic corpus (this runs the full offline phase)...")
+			var c *exp.Corpus
+			c, err = exp.BuildCorpus(sc, *objective)
+			if err == nil {
+				model = c.Model
+				sc.Experts = c.Scale.Experts
+			}
+		}
+		if err == nil {
+			c := &exp.Corpus{Scale: sc, Model: model}
+			if model != nil {
+				c.Scale.Experts = model.Experts
+				if model.FeatureWindow > 0 {
+					c.Scale.Online.Warmup = model.FeatureWindow
+				}
+			}
+			var diags []core.EpochDiag
+			m, diags, err = exp.RunDarwin(c, tr)
+			for _, d := range diags {
+				fmt.Fprintf(os.Stderr, "epoch %d: cluster %d, %d candidate experts, %d rounds (%s), deployed %s\n",
+					d.Epoch, d.Cluster, d.SetSize, d.Rounds, d.StopReason, d.Chosen)
+			}
+		}
+	default:
+		fmt.Fprintln(os.Stderr, "darwin-sim: training offline corpus for baseline construction...")
+		var c *exp.Corpus
+		c, err = exp.BuildCorpus(sc, *objective)
+		if err == nil {
+			var srv baselines.Server
+			srv, err = exp.NewBaseline(*policy, c)
+			if err == nil {
+				m = baselines.Play(srv, tr, sc.Eval.WarmupFrac)
+			}
+		}
+	}
+	if err != nil {
+		fatal(err)
+	}
+
+	fmt.Printf("trace:              %s (%d requests)\n", tr.Name, tr.Len())
+	fmt.Printf("policy:             %s\n", *policy)
+	fmt.Printf("HOC OHR:            %.4f\n", m.OHR())
+	fmt.Printf("total OHR (HOC+DC): %.4f\n", m.TotalOHR())
+	fmt.Printf("HOC BMR:            %.4f\n", m.BMR())
+	fmt.Printf("disk writes:        %d objects, %.1f MB (%.1f B/request)\n",
+		m.DCWrites, float64(m.DCWriteBytes)/(1<<20), m.DiskWritesPerRequest())
+	fmt.Printf("origin fetches:     %d (%.1f MB midgress)\n", m.Misses, float64(m.MissBytes)/(1<<20))
+}
+
+func loadTrace(path string, n int, seed int64) (*trace.Trace, error) {
+	if path == "" {
+		return exp.SyntheticMix(50, n, seed)
+	}
+	fd, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer fd.Close()
+	return trace.Read(fd, path)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "darwin-sim:", err)
+	os.Exit(1)
+}

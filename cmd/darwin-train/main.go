@@ -1,0 +1,130 @@
+// Command darwin-train runs Darwin's offline phase (Figure 3, steps 1a/1b)
+// and writes the trained model to a JSON file that darwin-proxy and
+// darwin-sim can load, so edge servers do not retrain at startup.
+//
+// Usage:
+//
+//	darwin-train -o model.json                          # synthetic corpus
+//	darwin-train -traces 'traces/*.txt' -o model.json   # real trace files
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+
+	"darwin/internal/cache"
+	"darwin/internal/core"
+	"darwin/internal/exp"
+	"darwin/internal/trace"
+)
+
+func main() {
+	var (
+		out       = flag.String("o", "model.json", "output model file")
+		globArg   = flag.String("traces", "", "glob of training trace files; empty generates a synthetic corpus")
+		objective = flag.String("objective", "ohr", "objective: ohr | bmr | combined")
+		clusters  = flag.Int("clusters", 8, "number of K-means clusters")
+		theta     = flag.Float64("theta", 1, "expert-set threshold percent")
+		hoc       = flag.Int64("hoc", 2<<20, "HOC bytes")
+		dc        = flag.Int64("dc", 200<<20, "DC bytes")
+		warmup    = flag.Int("warmup", 6000, "online warm-up length the model will be used with (aligns training features)")
+		scaleName = flag.String("scale", "default", "synthetic corpus scale: small | default")
+		seed      = flag.Int64("seed", 1, "training seed")
+	)
+	flag.Parse()
+
+	obj, err := core.ObjectiveByName(*objective)
+	if err != nil {
+		fatal(err)
+	}
+
+	start := time.Now()
+	var model *core.Model
+	if *globArg == "" {
+		var sc exp.Scale
+		switch *scaleName {
+		case "small":
+			sc = exp.Small()
+		case "default":
+			sc = exp.Default()
+		default:
+			fatal(fmt.Errorf("unknown scale %q", *scaleName))
+		}
+		sc.Eval.HOCBytes, sc.Eval.DCBytes = *hoc, *dc
+		sc.NumClusters = *clusters
+		sc.ThetaPct = *theta
+		sc.Seed = *seed
+		fmt.Fprintf(os.Stderr, "darwin-train: building synthetic corpus (%s scale)...\n", *scaleName)
+		c, err := exp.BuildCorpus(sc, *objective)
+		if err != nil {
+			fatal(err)
+		}
+		model = c.Model
+	} else {
+		paths, err := filepath.Glob(*globArg)
+		if err != nil {
+			fatal(err)
+		}
+		if len(paths) == 0 {
+			fatal(fmt.Errorf("no traces match %q", *globArg))
+		}
+		var traces []*trace.Trace
+		for _, p := range paths {
+			fd, err := os.Open(p)
+			if err != nil {
+				fatal(err)
+			}
+			tr, err := trace.Read(fd, filepath.Base(p))
+			fd.Close()
+			if err != nil {
+				fatal(err)
+			}
+			traces = append(traces, tr)
+		}
+		fmt.Fprintf(os.Stderr, "darwin-train: evaluating %d traces x %d experts...\n",
+			len(traces), len(cache.DefaultGrid()))
+		ds, err := core.BuildDataset(traces, core.DatasetConfig{
+			Eval:          cache.EvalConfig{HOCBytes: *hoc, DCBytes: *dc, WarmupFrac: 0.1},
+			FeatureWindow: *warmup,
+		})
+		if err != nil {
+			fatal(err)
+		}
+		model, err = core.Train(ds, core.TrainConfig{
+			Objective:   obj,
+			NumClusters: *clusters,
+			ThetaPct:    *theta,
+			Seed:        *seed,
+		})
+		if err != nil {
+			fatal(err)
+		}
+	}
+
+	fd, err := os.Create(*out)
+	if err != nil {
+		fatal(err)
+	}
+	defer fd.Close()
+	if err := core.WriteModel(fd, model); err != nil {
+		fatal(err)
+	}
+	trained := 0
+	for _, row := range model.Predictors {
+		for _, n := range row {
+			if n != nil {
+				trained++
+			}
+		}
+	}
+	fmt.Fprintf(os.Stderr, "darwin-train: wrote %s (%d clusters, %d predictors) in %v\n",
+		*out, model.Clusters.K(), trained, time.Since(start).Round(time.Millisecond))
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "darwin-train:", err)
+	os.Exit(1)
+}

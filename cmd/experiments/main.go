@@ -1,0 +1,252 @@
+// Command experiments regenerates every table and figure of the paper's
+// evaluation (§6, Appendix A.3) at a chosen scale and prints the rows/series
+// the paper reports. See DESIGN.md §3 for the experiment index and
+// EXPERIMENTS.md for recorded results.
+//
+// Usage:
+//
+//	experiments                 # all experiments at benchmark ("small") scale
+//	experiments -scale default  # the fuller scaled operating point
+//	experiments -only fig4a,table2
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"darwin/internal/exp"
+	"darwin/internal/features"
+)
+
+func main() {
+	var (
+		scaleName = flag.String("scale", "small", "small | default")
+		only      = flag.String("only", "", "comma-separated experiment ids (e.g. fig2,fig4a,table2); empty runs all")
+	)
+	flag.Parse()
+
+	var sc exp.Scale
+	switch *scaleName {
+	case "small":
+		sc = exp.Small()
+	case "default":
+		sc = exp.Default()
+	default:
+		fatal(fmt.Errorf("unknown scale %q", *scaleName))
+	}
+
+	want := map[string]bool{}
+	for _, id := range strings.Split(*only, ",") {
+		if id = strings.TrimSpace(id); id != "" {
+			want[id] = true
+		}
+	}
+	selected := func(id string) bool { return len(want) == 0 || want[id] }
+
+	type experiment struct {
+		id  string
+		run func() error
+	}
+	experiments := []experiment{
+		{"table1", func() error { emit(exp.Table1()); return nil }},
+		{"fig2", func() error {
+			reps, err := exp.Fig2Suite(sc)
+			if err != nil {
+				return err
+			}
+			for _, r := range reps {
+				emit(r)
+			}
+			return nil
+		}},
+		{"fig4a", func() error {
+			c, err := exp.CachedCorpus(sc, "ohr")
+			if err != nil {
+				return err
+			}
+			rep, _, diags, err := exp.Fig4Compare(c, "Figure 4a: Darwin vs baselines (simulation)")
+			if err != nil {
+				return err
+			}
+			emit(rep)
+			emit(exp.Fig5dBanditRounds(diags))
+			return nil
+		}},
+		{"fig4b", func() error {
+			c, err := exp.ScaledCorpus(sc, 5)
+			if err != nil {
+				return err
+			}
+			rep, _, _, err := exp.Fig4Compare(c, "Figure 4b: Darwin vs baselines (5x scaled cache)")
+			if err != nil {
+				return err
+			}
+			emit(rep)
+			return nil
+		}},
+		{"fig4c", func() error {
+			c, err := exp.CachedCorpus(exp.PrototypeScale(sc), "ohr")
+			if err != nil {
+				return err
+			}
+			pc := exp.DefaultPrototypeConfig()
+			tr, err := exp.PrototypeTrace(c, pc.TraceLen)
+			if err != nil {
+				return err
+			}
+			rep, err := exp.Fig4cPrototypeOHR(c, pc, tr)
+			if err != nil {
+				return err
+			}
+			emit(rep)
+			return nil
+		}},
+		{"fig5a", func() error {
+			train, _, err := exp.BuildTraces(sc)
+			if err != nil {
+				return err
+			}
+			rep, err := exp.Fig5aFeatureConvergence(train, features.DefaultConfig(),
+				[]float64{0.01, 0.03, 0.1, 0.3, 0.5, 0.9})
+			if err != nil {
+				return err
+			}
+			emit(rep)
+			return nil
+		}},
+		{"fig5b", func() error {
+			c, err := exp.CachedCorpus(sc, "ohr")
+			if err != nil {
+				return err
+			}
+			rep, err := exp.Fig5bClusterReduction(c.Dataset, sc.NumClusters, []float64{1, 2, 5}, sc.Seed)
+			if err != nil {
+				return err
+			}
+			emit(rep)
+			return nil
+		}},
+		{"fig5c", func() error {
+			c, err := exp.CachedCorpus(sc, "ohr")
+			if err != nil {
+				return err
+			}
+			rep, err := exp.Fig5cPredictorAccuracy(c.Model, c.Dataset.Records, []float64{1, 2, 5})
+			if err != nil {
+				return err
+			}
+			emit(rep)
+			return nil
+		}},
+		{"fig6a", func() error {
+			rep, err := exp.Fig6Objective(sc, "bmr", "Figure 6a: HOC byte miss ratio objective")
+			if err != nil {
+				return err
+			}
+			emit(rep)
+			return nil
+		}},
+		{"fig6b", func() error {
+			rep, err := exp.Fig6Objective(sc, "combined", "Figure 6b: OHR - disk-write objective")
+			if err != nil {
+				return err
+			}
+			emit(rep)
+			return nil
+		}},
+		{"fig7", func() error {
+			c, err := exp.CachedCorpus(exp.PrototypeScale(sc), "ohr")
+			if err != nil {
+				return err
+			}
+			pc := exp.DefaultPrototypeConfig()
+			tr, err := exp.PrototypeTrace(c, pc.TraceLen)
+			if err != nil {
+				return err
+			}
+			rep, err := exp.Fig7aLatency(c, pc, tr)
+			if err != nil {
+				return err
+			}
+			emit(rep)
+			rep, err = exp.Fig7bThroughput(c, pc, tr)
+			if err != nil {
+				return err
+			}
+			emit(rep)
+			return nil
+		}},
+		{"table2", func() error {
+			c, err := exp.CachedCorpus(sc, "ohr")
+			if err != nil {
+				return err
+			}
+			rep, err := exp.Table2(c)
+			if err != nil {
+				return err
+			}
+			emit(rep)
+			return nil
+		}},
+		{"fig11", func() error {
+			rep, err := exp.Fig11ThreeKnob(sc, []float64{1, 5})
+			if err != nil {
+				return err
+			}
+			emit(rep)
+			return nil
+		}},
+		{"overhead", func() error {
+			c, err := exp.CachedCorpus(sc, "ohr")
+			if err != nil {
+				return err
+			}
+			rep, err := exp.OverheadReport(c, c.Test[0])
+			if err != nil {
+				return err
+			}
+			emit(rep)
+			return nil
+		}},
+		{"ablations", func() error {
+			for _, f := range []func(exp.Scale) (*exp.Report, error){
+				exp.AblationSideInfo,
+				exp.AblationStopping,
+			} {
+				rep, err := f(sc)
+				if err != nil {
+					return err
+				}
+				emit(rep)
+			}
+			rep, err := exp.AblationRoundLength(sc, []int{sc.Online.Round / 2, sc.Online.Round, sc.Online.Round * 2})
+			if err != nil {
+				return err
+			}
+			emit(rep)
+			return nil
+		}},
+	}
+
+	for _, e := range experiments {
+		if !selected(e.id) {
+			continue
+		}
+		start := time.Now()
+		fmt.Printf("--- running %s ---\n", e.id)
+		if err := e.run(); err != nil {
+			fatal(fmt.Errorf("%s: %w", e.id, err))
+		}
+		fmt.Printf("--- %s done in %v ---\n\n", e.id, time.Since(start).Round(time.Millisecond))
+	}
+}
+
+func emit(r *exp.Report) { fmt.Println(r.String()) }
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "experiments:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,33 @@
+// Command origin runs the prototype's origin server: it serves any object of
+// any requested size at /obj/<id>?size=<bytes> after an injected WAN delay
+// (§5, §6 "Testbed Setup").
+//
+// Usage:
+//
+//	origin -addr :9000 -latency 100ms
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"time"
+
+	"darwin/internal/server"
+)
+
+func main() {
+	var (
+		addr    = flag.String("addr", ":9000", "listen address")
+		latency = flag.Duration("latency", 100*time.Millisecond, "injected per-request delay")
+	)
+	flag.Parse()
+
+	origin := &server.Origin{Latency: *latency}
+	fmt.Fprintf(os.Stderr, "origin: listening on %s with %v injected latency\n", *addr, *latency)
+	if err := http.ListenAndServe(*addr, origin); err != nil {
+		fmt.Fprintln(os.Stderr, "origin:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,85 @@
+// Command tracegen generates synthetic CDN request traces in the style of
+// Tragen (§6 "CDN Traces"): single traffic classes or Image:Download mixes,
+// written in the repository's "id size time" line format.
+//
+// Usage:
+//
+//	tracegen -mix 70 -n 1000000 -seed 1 -o trace.txt
+//	tracegen -class download -n 500000 > download.txt
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"darwin/internal/trace"
+	"darwin/internal/tracegen"
+)
+
+func main() {
+	var (
+		class = flag.String("class", "", "single traffic class: image, download, web, video, scan")
+		mix   = flag.Int("mix", -1, "Image percentage of an Image:Download mix (0-100)")
+		n     = flag.Int("n", 100000, "number of requests")
+		seed  = flag.Int64("seed", 1, "generator seed")
+		out   = flag.String("o", "", "output file (default stdout)")
+		stats = flag.Bool("stats", false, "print trace statistics to stderr")
+	)
+	flag.Parse()
+
+	var (
+		tr  *trace.Trace
+		err error
+	)
+	switch {
+	case *class != "" && *mix >= 0:
+		fatal(fmt.Errorf("use either -class or -mix, not both"))
+	case *class != "":
+		c, cerr := tracegen.ByName(*class)
+		if cerr != nil {
+			fatal(cerr)
+		}
+		tr, err = tracegen.Generate(tracegen.MixConfig{
+			Classes: []tracegen.Class{c}, Requests: *n, Seed: *seed,
+		})
+	case *mix >= 0:
+		tr, err = tracegen.ImageDownloadMix(*mix, *n, *seed)
+	default:
+		fatal(fmt.Errorf("specify -class <name> or -mix <image-pct>"))
+	}
+	if err != nil {
+		fatal(err)
+	}
+
+	w := os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		w = f
+	}
+	if err := tr.Write(w); err != nil {
+		fatal(err)
+	}
+	if *stats {
+		s := tr.Summarize()
+		fmt.Fprintf(os.Stderr, "%s: %d requests, %d objects, %.1f MB total, %.1f%% one-hit wonders, mean size %.0f B\n",
+			tr.Name, s.Requests, s.UniqueObjects, float64(s.TotalBytes)/(1<<20),
+			100*float64(s.OneHitWonders)/float64(max(1, s.UniqueObjects)), s.MeanSize)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "tracegen:", err)
+	os.Exit(1)
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

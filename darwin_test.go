@@ -1,0 +1,109 @@
+package darwin_test
+
+import (
+	"testing"
+
+	"darwin"
+)
+
+// TestEndToEndPublicAPI exercises the documented quick-start flow through
+// the public façade only.
+func TestEndToEndPublicAPI(t *testing.T) {
+	experts := darwin.ExpertGrid([]int{1, 3, 5}, []int64{2 << 10, 20 << 10, 200 << 10})
+	eval := darwin.EvalConfig{HOCBytes: 256 << 10, DCBytes: 32 << 20, WarmupFrac: 0.1}
+
+	// Offline: historical traces → dataset → model.
+	var train []*darwin.Trace
+	for _, pct := range []int{0, 50, 100} {
+		for seed := int64(0); seed < 2; seed++ {
+			tr, err := darwin.ImageDownloadMix(pct, 8000, 600+seed+int64(pct))
+			if err != nil {
+				t.Fatal(err)
+			}
+			train = append(train, tr)
+		}
+	}
+	ds, err := darwin.BuildDataset(train, darwin.DatasetConfig{
+		Experts:       experts,
+		Eval:          eval,
+		FeatureWindow: 800,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	model, err := darwin.Train(ds, darwin.TrainConfig{NumClusters: 3, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Online: controller over a fresh cache.
+	hier, err := darwin.NewCache(darwin.CacheConfig{HOCBytes: eval.HOCBytes, DCBytes: eval.DCBytes})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctrl, err := darwin.NewController(model, hier, darwin.OnlineConfig{
+		Epoch: 12000, Warmup: 800, Round: 300, Delta: 0.05, StabilityRounds: 3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	live, err := darwin.ImageDownloadMix(100, 12000, 999)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range live.Requests {
+		ctrl.Serve(r)
+	}
+	m := ctrl.Metrics()
+	if m.Requests != int64(live.Len()) {
+		t.Fatalf("requests = %d", m.Requests)
+	}
+	if len(ctrl.Diags()) == 0 {
+		t.Fatal("no epochs recorded")
+	}
+	if m.OHR() <= 0 {
+		t.Fatal("no hits at all")
+	}
+}
+
+func TestPublicObjectives(t *testing.T) {
+	for _, name := range []string{"ohr", "bmr", "combined"} {
+		if _, err := darwin.ObjectiveByName(name); err != nil {
+			t.Fatalf("ObjectiveByName(%q): %v", name, err)
+		}
+	}
+	var m darwin.CacheMetrics
+	m.Requests, m.HOCHits = 10, 5
+	if (darwin.OHRObjective{}).Reward(m) != 0.5 {
+		t.Fatal("OHR objective broken through façade")
+	}
+}
+
+func TestPublicTraceHelpers(t *testing.T) {
+	a, err := darwin.ImageDownloadMix(50, 100, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := darwin.ImageDownloadMix(50, 100, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	joined := darwin.ConcatTraces("j", a, b)
+	if joined.Len() != 200 {
+		t.Fatalf("Concat len = %d", joined.Len())
+	}
+	s := joined.Summarize()
+	if s.Requests != 200 {
+		t.Fatalf("stats = %+v", s)
+	}
+}
+
+func TestPublicExpertGrid(t *testing.T) {
+	if len(darwin.DefaultExpertGrid()) != 36 {
+		t.Fatal("default grid should have 36 experts")
+	}
+	g3 := darwin.ExpertGrid3([]int{1}, []int64{10}, []int64{5, 6})
+	if len(g3) != 2 {
+		t.Fatal("3-knob grid wrong")
+	}
+}

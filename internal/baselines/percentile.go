@@ -1,0 +1,103 @@
+package baselines
+
+import (
+	"fmt"
+
+	"darwin/internal/cache"
+	"darwin/internal/stats"
+	"darwin/internal/trace"
+)
+
+// Percentile re-estimates the empirical distributions of object request
+// frequencies and request sizes over N-request windows and, for the next
+// window, deploys the grid expert whose (f, s) lies closest to the chosen
+// frequency/size percentiles (paper §6: 60th and 90th, N = 100K requests at
+// paper scale).
+type Percentile struct {
+	hier    *cache.Hierarchy
+	experts []cache.Expert
+	window  int
+	fPct    float64
+	sPct    float64
+
+	n      int
+	counts map[uint64]int
+	sizes  []float64
+}
+
+// PercentileConfig configures the baseline.
+type PercentileConfig struct {
+	// Experts is the grid to choose from.
+	Experts []cache.Expert
+	// Window is N, the re-estimation period in requests.
+	Window int
+	// FreqPct and SizePct are the deployed percentiles (defaults 60, 90).
+	FreqPct, SizePct float64
+	// Eval sizes the cache.
+	Eval cache.EvalConfig
+}
+
+// NewPercentile builds the baseline, deploying Experts[0] initially.
+func NewPercentile(cfg PercentileConfig) (*Percentile, error) {
+	if len(cfg.Experts) == 0 {
+		return nil, fmt.Errorf("baselines: percentile needs experts")
+	}
+	if cfg.Window <= 0 {
+		return nil, fmt.Errorf("baselines: percentile window must be > 0")
+	}
+	if cfg.FreqPct <= 0 {
+		cfg.FreqPct = 60
+	}
+	if cfg.SizePct <= 0 {
+		cfg.SizePct = 90
+	}
+	h, err := newHierarchy(cfg.Eval, cfg.Experts[0])
+	if err != nil {
+		return nil, err
+	}
+	return &Percentile{
+		hier:    h,
+		experts: cfg.Experts,
+		window:  cfg.Window,
+		fPct:    cfg.FreqPct,
+		sPct:    cfg.SizePct,
+		counts:  make(map[uint64]int),
+	}, nil
+}
+
+// Name implements Server.
+func (p *Percentile) Name() string { return "percentile" }
+
+// Serve implements Server.
+func (p *Percentile) Serve(r trace.Request) cache.Result {
+	res := p.hier.Serve(r)
+	p.counts[r.ID]++
+	p.sizes = append(p.sizes, float64(r.Size))
+	p.n++
+	if p.n >= p.window {
+		p.redeploy()
+	}
+	return res
+}
+
+func (p *Percentile) redeploy() {
+	freqs := make([]float64, 0, len(p.counts))
+	for _, c := range p.counts {
+		freqs = append(freqs, float64(c))
+	}
+	f := stats.Percentile(freqs, p.fPct)
+	s := stats.Percentile(p.sizes, p.sPct)
+	p.hier.SetExpert(cache.Nearest(p.experts, f, s))
+	p.n = 0
+	p.counts = make(map[uint64]int)
+	p.sizes = p.sizes[:0]
+}
+
+// Metrics implements Server.
+func (p *Percentile) Metrics() cache.Metrics { return p.hier.Metrics() }
+
+// ResetMetrics implements Server.
+func (p *Percentile) ResetMetrics() { p.hier.ResetMetrics() }
+
+// Expert returns the currently deployed expert (for tests).
+func (p *Percentile) Expert() cache.Expert { return p.hier.Expert() }

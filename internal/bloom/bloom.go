@@ -1,0 +1,153 @@
+// Package bloom implements the probabilistic set membership filters used by
+// the CDN cache substrate: a classic Bloom filter for the disk cache's
+// "one-hit wonder" admission rule (admit only on the second request, §2.2 of
+// the Darwin paper), and a counting variant used to track per-object request
+// frequencies for the HOC admission experts.
+package bloom
+
+import (
+	"hash/fnv"
+	"math"
+)
+
+// Filter is a standard Bloom filter with double hashing.
+// The zero value is unusable; construct with New.
+type Filter struct {
+	bits  []uint64
+	m     uint64 // number of bits
+	k     int    // number of hash functions
+	count uint64 // number of Add calls (approximate element count)
+}
+
+// New creates a Bloom filter sized for n expected elements at the given
+// target false-positive probability (0 < fp < 1). Invalid arguments are
+// clamped to safe minima.
+func New(n int, fp float64) *Filter {
+	if n < 1 {
+		n = 1
+	}
+	if fp <= 0 || fp >= 1 {
+		fp = 0.01
+	}
+	m := uint64(math.Ceil(-float64(n) * math.Log(fp) / (math.Ln2 * math.Ln2)))
+	if m < 64 {
+		m = 64
+	}
+	k := int(math.Round(float64(m) / float64(n) * math.Ln2))
+	if k < 1 {
+		k = 1
+	}
+	if k > 16 {
+		k = 16
+	}
+	return &Filter{bits: make([]uint64, (m+63)/64), m: m, k: k}
+}
+
+// hash2 derives two independent 64-bit hashes of key using FNV-1a over the
+// key bytes and a seeded variant; double hashing g_i = h1 + i*h2 gives the k
+// probe positions (Kirsch–Mitzenmacher).
+func hash2(key string) (uint64, uint64) {
+	h := fnv.New64a()
+	h.Write([]byte(key))
+	h1 := h.Sum64()
+	h.Write([]byte{0x9e, 0x37, 0x79, 0xb9})
+	h2 := h.Sum64() | 1 // force odd so probes cycle through all positions
+	return h1, h2
+}
+
+// Add inserts key into the filter.
+func (f *Filter) Add(key string) {
+	h1, h2 := hash2(key)
+	for i := 0; i < f.k; i++ {
+		pos := (h1 + uint64(i)*h2) % f.m
+		f.bits[pos/64] |= 1 << (pos % 64)
+	}
+	f.count++
+}
+
+// Contains reports whether key may have been added (false positives possible,
+// false negatives impossible).
+func (f *Filter) Contains(key string) bool {
+	h1, h2 := hash2(key)
+	for i := 0; i < f.k; i++ {
+		pos := (h1 + uint64(i)*h2) % f.m
+		if f.bits[pos/64]&(1<<(pos%64)) == 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// TestAndAdd reports whether key was (probably) present and inserts it.
+func (f *Filter) TestAndAdd(key string) bool {
+	present := f.Contains(key)
+	f.Add(key)
+	return present
+}
+
+// ApproxCount returns the number of Add calls made.
+func (f *Filter) ApproxCount() uint64 { return f.count }
+
+// Reset clears the filter in place.
+func (f *Filter) Reset() {
+	for i := range f.bits {
+		f.bits[i] = 0
+	}
+	f.count = 0
+}
+
+// Bits returns the filter size in bits (for overhead accounting).
+func (f *Filter) Bits() uint64 { return f.m }
+
+// Counting is a counting Bloom filter: an approximate per-key counter with
+// bounded memory, used to track object request frequencies. Increment raises
+// k counters; Estimate returns the minimum (a count–min sketch style bound
+// that can only over-estimate).
+type Counting struct {
+	counters []uint32
+	m        uint64
+	k        int
+}
+
+// NewCounting creates a counting filter sized for n expected distinct keys at
+// the given per-key over-count probability.
+func NewCounting(n int, fp float64) *Counting {
+	base := New(n, fp)
+	return &Counting{counters: make([]uint32, base.m), m: base.m, k: base.k}
+}
+
+// Increment adds one to key's count and returns the new estimate.
+func (c *Counting) Increment(key string) uint32 {
+	h1, h2 := hash2(key)
+	min := uint32(math.MaxUint32)
+	for i := 0; i < c.k; i++ {
+		pos := (h1 + uint64(i)*h2) % c.m
+		if c.counters[pos] != math.MaxUint32 {
+			c.counters[pos]++
+		}
+		if c.counters[pos] < min {
+			min = c.counters[pos]
+		}
+	}
+	return min
+}
+
+// Estimate returns an upper bound on how many times key was incremented.
+func (c *Counting) Estimate(key string) uint32 {
+	h1, h2 := hash2(key)
+	min := uint32(math.MaxUint32)
+	for i := 0; i < c.k; i++ {
+		pos := (h1 + uint64(i)*h2) % c.m
+		if c.counters[pos] < min {
+			min = c.counters[pos]
+		}
+	}
+	return min
+}
+
+// Reset clears all counters.
+func (c *Counting) Reset() {
+	for i := range c.counters {
+		c.counters[i] = 0
+	}
+}

@@ -1,0 +1,155 @@
+package bloom
+
+import (
+	"fmt"
+	"testing"
+	"testing/quick"
+)
+
+func TestFilterNoFalseNegatives(t *testing.T) {
+	f := New(1000, 0.01)
+	for i := 0; i < 1000; i++ {
+		f.Add(fmt.Sprintf("key-%d", i))
+	}
+	for i := 0; i < 1000; i++ {
+		if !f.Contains(fmt.Sprintf("key-%d", i)) {
+			t.Fatalf("false negative for key-%d", i)
+		}
+	}
+}
+
+func TestFilterNoFalseNegativesProperty(t *testing.T) {
+	f := New(4096, 0.01)
+	check := func(key string) bool {
+		f.Add(key)
+		return f.Contains(key)
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFilterFalsePositiveRate(t *testing.T) {
+	f := New(10000, 0.01)
+	for i := 0; i < 10000; i++ {
+		f.Add(fmt.Sprintf("in-%d", i))
+	}
+	fp := 0
+	const probes = 10000
+	for i := 0; i < probes; i++ {
+		if f.Contains(fmt.Sprintf("out-%d", i)) {
+			fp++
+		}
+	}
+	if rate := float64(fp) / probes; rate > 0.05 {
+		t.Fatalf("false positive rate %.4f exceeds 5%%", rate)
+	}
+}
+
+func TestTestAndAdd(t *testing.T) {
+	f := New(100, 0.01)
+	if f.TestAndAdd("a") {
+		t.Fatal("first TestAndAdd should report absent")
+	}
+	if !f.TestAndAdd("a") {
+		t.Fatal("second TestAndAdd should report present")
+	}
+	if f.ApproxCount() != 2 {
+		t.Fatalf("ApproxCount = %d, want 2", f.ApproxCount())
+	}
+}
+
+func TestFilterReset(t *testing.T) {
+	f := New(100, 0.01)
+	f.Add("x")
+	f.Reset()
+	if f.Contains("x") {
+		t.Fatal("Reset did not clear membership")
+	}
+	if f.ApproxCount() != 0 {
+		t.Fatal("Reset did not clear count")
+	}
+}
+
+func TestNewClampsArguments(t *testing.T) {
+	f := New(-5, 2.0)
+	f.Add("k")
+	if !f.Contains("k") {
+		t.Fatal("clamped filter must still work")
+	}
+	if f.Bits() < 64 {
+		t.Fatalf("Bits = %d, want >= 64", f.Bits())
+	}
+}
+
+func TestCountingMonotoneUpperBound(t *testing.T) {
+	c := NewCounting(1000, 0.01)
+	truth := map[string]uint32{}
+	for i := 0; i < 300; i++ {
+		key := fmt.Sprintf("obj-%d", i%60)
+		truth[key]++
+		c.Increment(key)
+	}
+	for key, want := range truth {
+		if got := c.Estimate(key); got < want {
+			t.Fatalf("Estimate(%s) = %d < true count %d (underestimate impossible)", key, got, want)
+		}
+	}
+}
+
+func TestCountingIncrementReturnsEstimate(t *testing.T) {
+	c := NewCounting(100, 0.01)
+	if got := c.Increment("a"); got < 1 {
+		t.Fatalf("Increment returned %d, want >= 1", got)
+	}
+	if got := c.Increment("a"); got < 2 {
+		t.Fatalf("second Increment returned %d, want >= 2", got)
+	}
+}
+
+func TestCountingReset(t *testing.T) {
+	c := NewCounting(100, 0.01)
+	c.Increment("a")
+	c.Reset()
+	if got := c.Estimate("a"); got != 0 {
+		t.Fatalf("Estimate after Reset = %d, want 0", got)
+	}
+}
+
+func TestCountingExactWhenSparse(t *testing.T) {
+	// With very few keys and a large filter, estimates should be exact.
+	c := NewCounting(100000, 0.001)
+	for i := 0; i < 5; i++ {
+		c.Increment("solo")
+	}
+	if got := c.Estimate("solo"); got != 5 {
+		t.Fatalf("Estimate = %d, want exactly 5", got)
+	}
+	if got := c.Estimate("other"); got != 0 {
+		t.Fatalf("Estimate(other) = %d, want 0", got)
+	}
+}
+
+func BenchmarkFilterAdd(b *testing.B) {
+	f := New(1<<20, 0.01)
+	keys := make([]string, 1024)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("key-%d", i)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		f.Add(keys[i%len(keys)])
+	}
+}
+
+func BenchmarkCountingIncrement(b *testing.B) {
+	c := NewCounting(1<<20, 0.01)
+	keys := make([]string, 1024)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("key-%d", i)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Increment(keys[i%len(keys)])
+	}
+}

@@ -1,0 +1,140 @@
+package cache
+
+import (
+	"math"
+	"testing"
+
+	"darwin/internal/trace"
+	"darwin/internal/tracegen"
+)
+
+func TestEvaluateWarmupExcluded(t *testing.T) {
+	tr := &trace.Trace{Name: "t"}
+	for i := 0; i < 100; i++ {
+		tr.Requests = append(tr.Requests, trace.Request{ID: 1, Size: 10, Time: int64(i)})
+	}
+	m, err := Evaluate(tr, Expert{Freq: 1, MaxSize: 100}, EvalConfig{
+		HOCBytes: 1000, DCBytes: 10000, WarmupFrac: 0.1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Requests != 90 {
+		t.Fatalf("Requests = %d, want 90 (warm-up excluded)", m.Requests)
+	}
+	// After warm-up the single object is HOC-resident: all 90 are hits.
+	if m.HOCHits != 90 {
+		t.Fatalf("HOCHits = %d, want 90", m.HOCHits)
+	}
+}
+
+func TestEvaluateAllOrder(t *testing.T) {
+	tr, err := tracegen.ImageDownloadMix(50, 5000, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	experts := []Expert{
+		{Freq: 1, MaxSize: 100 << 10},
+		{Freq: 7, MaxSize: 1 << 10},
+	}
+	ms, err := EvaluateAll(tr, experts, DefaultEvalConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ms) != 2 {
+		t.Fatalf("got %d metrics", len(ms))
+	}
+	// The permissive expert should admit at least as much as the strict one.
+	if ms[0].HOCAdmits < ms[1].HOCAdmits {
+		t.Fatalf("permissive expert admitted %d < strict %d", ms[0].HOCAdmits, ms[1].HOCAdmits)
+	}
+}
+
+func TestEvaluateRejectsBadConfig(t *testing.T) {
+	tr := &trace.Trace{Requests: []trace.Request{{ID: 1, Size: 1}}}
+	if _, err := Evaluate(tr, Expert{}, EvalConfig{HOCBytes: 0, DCBytes: 1}); err == nil {
+		t.Fatal("bad config accepted")
+	}
+}
+
+func TestEvaluateJointConsistency(t *testing.T) {
+	tr, err := tracegen.ImageDownloadMix(30, 20000, 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ei := Expert{Freq: 2, MaxSize: 10 << 10}
+	ej := Expert{Freq: 4, MaxSize: 2 << 10}
+	cfg := DefaultEvalConfig()
+	js, err := EvaluateJoint(tr, ei, ej, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if js.Requests != js.IHitJHit+js.IHitJMiss+js.IMissJHit+js.IMissJMiss {
+		t.Fatal("joint counts do not partition the requests")
+	}
+	// Marginals from the joint run must match independent evaluations.
+	mi, err := Evaluate(tr, ei, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mj, err := Evaluate(tr, ej, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(js.IHitRate-mi.OHR()) > 1e-12 {
+		t.Fatalf("IHitRate %.6f != independent OHR %.6f", js.IHitRate, mi.OHR())
+	}
+	if math.Abs(js.JHitRate-mj.OHR()) > 1e-12 {
+		t.Fatalf("JHitRate %.6f != independent OHR %.6f", js.JHitRate, mj.OHR())
+	}
+	// Law of total probability: P(j hit) = P(i hit)P(j|i hit)+P(i miss)P(j|i miss).
+	reconstructed := js.IHitRate*js.PJHitGivenIHit + (1-js.IHitRate)*js.PJHitGivenIMiss
+	if math.Abs(reconstructed-js.JHitRate) > 1e-9 {
+		t.Fatalf("total probability violated: %.6f vs %.6f", reconstructed, js.JHitRate)
+	}
+	if js.SideInformationVariance < 0 || js.SideInformationVariance > 0.25 {
+		t.Fatalf("sigma^2 = %v outside [0, 0.25]", js.SideInformationVariance)
+	}
+}
+
+func TestCorrelatedExpertsShareHits(t *testing.T) {
+	// Experts sharing a structure should be positively correlated (§4.1):
+	// P(j hit | i hit) > P(j hit | i miss) for nested thresholds.
+	tr, err := tracegen.ImageDownloadMix(50, 20000, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	js, err := EvaluateJoint(tr,
+		Expert{Freq: 2, MaxSize: 10 << 10},
+		Expert{Freq: 3, MaxSize: 5 << 10}, DefaultEvalConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if js.PJHitGivenIHit <= js.PJHitGivenIMiss {
+		t.Fatalf("expected positive correlation: P(j|i hit)=%.4f P(j|i miss)=%.4f",
+			js.PJHitGivenIHit, js.PJHitGivenIMiss)
+	}
+}
+
+func TestImageTracePreferHigherFreq(t *testing.T) {
+	// §3.1: the Image class is best served with a higher frequency threshold
+	// and a small size threshold; a tiny size threshold should beat a huge
+	// one because large rare objects pollute the HOC.
+	tr, err := tracegen.ImageDownloadMix(100, 60000, 77)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := EvalConfig{HOCBytes: 256 << 10, DCBytes: 64 << 20, WarmupFrac: 0.1}
+	small, err := Evaluate(tr, Expert{Freq: 4, MaxSize: 2 << 10}, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	huge, err := Evaluate(tr, Expert{Freq: 1, MaxSize: 1 << 20}, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if small.OHR() <= huge.OHR() {
+		t.Fatalf("image trace: selective expert OHR %.4f should beat permissive %.4f",
+			small.OHR(), huge.OHR())
+	}
+}

@@ -1,0 +1,343 @@
+// Package cache implements the two-level CDN cache substrate from the Darwin
+// paper (§2.2): a small, fast Hot Object Cache (HOC) in front of a large Disk
+// Cache (DC). Admission into the HOC is governed by pluggable experts — the
+// (frequency, size[, recency]) threshold tuples Darwin selects among — while
+// the DC admits objects on their second request using a Bloom filter to shed
+// one-hit wonders. Eviction at both levels defaults to LRU, the policy used
+// throughout the paper's evaluation; FIFO and LFU variants are provided for
+// ablations.
+package cache
+
+import (
+	"container/heap"
+	"container/list"
+	"fmt"
+)
+
+// Eviction is a byte-capacity-aware victim-selection policy. Implementations
+// track resident objects and answer which object should be evicted next.
+type Eviction interface {
+	// Insert registers a newly admitted object.
+	Insert(id uint64, size int64)
+	// Touch records a hit on a resident object.
+	Touch(id uint64)
+	// Victim returns the next object to evict without removing it.
+	// ok is false when the policy tracks no objects.
+	Victim() (id uint64, size int64, ok bool)
+	// Remove deletes an object (evicted or invalidated) from the policy.
+	Remove(id uint64)
+	// Contains reports residency.
+	Contains(id uint64) bool
+	// Size returns the resident size of id, or 0 if absent.
+	Size(id uint64) int64
+	// Len returns the number of resident objects.
+	Len() int
+	// Bytes returns the total resident bytes.
+	Bytes() int64
+	// Entries lists resident objects in eviction order where the policy has
+	// one (victim-first for list-based policies; unspecified for heap-based
+	// ones). Used to migrate state when the policy is swapped at runtime.
+	Entries() []ResidentObject
+}
+
+// ResidentObject is one (id, size) pair resident in an eviction policy.
+type ResidentObject struct {
+	ID   uint64
+	Size int64
+}
+
+// entry is a resident object record shared by the list-based policies.
+type entry struct {
+	id   uint64
+	size int64
+}
+
+// LRU evicts the least recently used object.
+type LRU struct {
+	ll    *list.List // front = most recent
+	index map[uint64]*list.Element
+	bytes int64
+}
+
+// NewLRU returns an empty LRU policy.
+func NewLRU() *LRU {
+	return &LRU{ll: list.New(), index: make(map[uint64]*list.Element)}
+}
+
+// Insert implements Eviction. Inserting an existing id refreshes its recency
+// and updates its size.
+func (l *LRU) Insert(id uint64, size int64) {
+	if el, ok := l.index[id]; ok {
+		l.bytes += size - el.Value.(*entry).size
+		el.Value.(*entry).size = size
+		l.ll.MoveToFront(el)
+		return
+	}
+	l.index[id] = l.ll.PushFront(&entry{id: id, size: size})
+	l.bytes += size
+}
+
+// Touch implements Eviction.
+func (l *LRU) Touch(id uint64) {
+	if el, ok := l.index[id]; ok {
+		l.ll.MoveToFront(el)
+	}
+}
+
+// Victim implements Eviction.
+func (l *LRU) Victim() (uint64, int64, bool) {
+	el := l.ll.Back()
+	if el == nil {
+		return 0, 0, false
+	}
+	e := el.Value.(*entry)
+	return e.id, e.size, true
+}
+
+// Remove implements Eviction.
+func (l *LRU) Remove(id uint64) {
+	if el, ok := l.index[id]; ok {
+		l.bytes -= el.Value.(*entry).size
+		l.ll.Remove(el)
+		delete(l.index, id)
+	}
+}
+
+// Contains implements Eviction.
+func (l *LRU) Contains(id uint64) bool { _, ok := l.index[id]; return ok }
+
+// Size implements Eviction.
+func (l *LRU) Size(id uint64) int64 {
+	if el, ok := l.index[id]; ok {
+		return el.Value.(*entry).size
+	}
+	return 0
+}
+
+// Len implements Eviction.
+func (l *LRU) Len() int { return l.ll.Len() }
+
+// Bytes implements Eviction.
+func (l *LRU) Bytes() int64 { return l.bytes }
+
+// Entries implements Eviction (victim-first: LRU tail first).
+func (l *LRU) Entries() []ResidentObject {
+	out := make([]ResidentObject, 0, l.ll.Len())
+	for el := l.ll.Back(); el != nil; el = el.Prev() {
+		e := el.Value.(*entry)
+		out = append(out, ResidentObject{ID: e.id, Size: e.size})
+	}
+	return out
+}
+
+// FIFO evicts in insertion order, ignoring hits.
+type FIFO struct {
+	ll    *list.List
+	index map[uint64]*list.Element
+	bytes int64
+}
+
+// NewFIFO returns an empty FIFO policy.
+func NewFIFO() *FIFO {
+	return &FIFO{ll: list.New(), index: make(map[uint64]*list.Element)}
+}
+
+// Insert implements Eviction.
+func (f *FIFO) Insert(id uint64, size int64) {
+	if el, ok := f.index[id]; ok {
+		f.bytes += size - el.Value.(*entry).size
+		el.Value.(*entry).size = size
+		return
+	}
+	f.index[id] = f.ll.PushFront(&entry{id: id, size: size})
+	f.bytes += size
+}
+
+// Touch implements Eviction; FIFO ignores hits.
+func (f *FIFO) Touch(uint64) {}
+
+// Victim implements Eviction.
+func (f *FIFO) Victim() (uint64, int64, bool) {
+	el := f.ll.Back()
+	if el == nil {
+		return 0, 0, false
+	}
+	e := el.Value.(*entry)
+	return e.id, e.size, true
+}
+
+// Remove implements Eviction.
+func (f *FIFO) Remove(id uint64) {
+	if el, ok := f.index[id]; ok {
+		f.bytes -= el.Value.(*entry).size
+		f.ll.Remove(el)
+		delete(f.index, id)
+	}
+}
+
+// Contains implements Eviction.
+func (f *FIFO) Contains(id uint64) bool { _, ok := f.index[id]; return ok }
+
+// Size implements Eviction.
+func (f *FIFO) Size(id uint64) int64 {
+	if el, ok := f.index[id]; ok {
+		return el.Value.(*entry).size
+	}
+	return 0
+}
+
+// Len implements Eviction.
+func (f *FIFO) Len() int { return f.ll.Len() }
+
+// Bytes implements Eviction.
+func (f *FIFO) Bytes() int64 { return f.bytes }
+
+// Entries implements Eviction (victim-first: oldest insert first).
+func (f *FIFO) Entries() []ResidentObject {
+	out := make([]ResidentObject, 0, f.ll.Len())
+	for el := f.ll.Back(); el != nil; el = el.Prev() {
+		e := el.Value.(*entry)
+		out = append(out, ResidentObject{ID: e.id, Size: e.size})
+	}
+	return out
+}
+
+// LFU evicts the least frequently used object, breaking ties by insertion
+// order (older first). Implemented as a min-heap keyed by (hits, seq).
+type LFU struct {
+	h     lfuHeap
+	index map[uint64]*lfuEntry
+	bytes int64
+	seq   uint64
+}
+
+type lfuEntry struct {
+	id    uint64
+	size  int64
+	hits  uint64
+	seq   uint64
+	index int // heap index
+}
+
+type lfuHeap []*lfuEntry
+
+func (h lfuHeap) Len() int { return len(h) }
+func (h lfuHeap) Less(i, j int) bool {
+	if h[i].hits != h[j].hits {
+		return h[i].hits < h[j].hits
+	}
+	return h[i].seq < h[j].seq
+}
+func (h lfuHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+func (h *lfuHeap) Push(x any) {
+	e := x.(*lfuEntry)
+	e.index = len(*h)
+	*h = append(*h, e)
+}
+func (h *lfuHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return e
+}
+
+// NewLFU returns an empty LFU policy.
+func NewLFU() *LFU {
+	return &LFU{index: make(map[uint64]*lfuEntry)}
+}
+
+// Insert implements Eviction.
+func (l *LFU) Insert(id uint64, size int64) {
+	if e, ok := l.index[id]; ok {
+		l.bytes += size - e.size
+		e.size = size
+		l.Touch(id)
+		return
+	}
+	l.seq++
+	e := &lfuEntry{id: id, size: size, seq: l.seq}
+	l.index[id] = e
+	heap.Push(&l.h, e)
+	l.bytes += size
+}
+
+// Touch implements Eviction.
+func (l *LFU) Touch(id uint64) {
+	if e, ok := l.index[id]; ok {
+		e.hits++
+		heap.Fix(&l.h, e.index)
+	}
+}
+
+// Victim implements Eviction.
+func (l *LFU) Victim() (uint64, int64, bool) {
+	if len(l.h) == 0 {
+		return 0, 0, false
+	}
+	return l.h[0].id, l.h[0].size, true
+}
+
+// Remove implements Eviction.
+func (l *LFU) Remove(id uint64) {
+	if e, ok := l.index[id]; ok {
+		l.bytes -= e.size
+		heap.Remove(&l.h, e.index)
+		delete(l.index, id)
+	}
+}
+
+// Contains implements Eviction.
+func (l *LFU) Contains(id uint64) bool { _, ok := l.index[id]; return ok }
+
+// Size implements Eviction.
+func (l *LFU) Size(id uint64) int64 {
+	if e, ok := l.index[id]; ok {
+		return e.size
+	}
+	return 0
+}
+
+// Len implements Eviction.
+func (l *LFU) Len() int { return len(l.h) }
+
+// Bytes implements Eviction.
+func (l *LFU) Bytes() int64 { return l.bytes }
+
+// Entries implements Eviction (heap order, unspecified).
+func (l *LFU) Entries() []ResidentObject {
+	out := make([]ResidentObject, 0, len(l.index))
+	for _, e := range l.index {
+		out = append(out, ResidentObject{ID: e.id, Size: e.size})
+	}
+	return out
+}
+
+// NewEviction constructs a policy by name ("lru", "fifo", "lfu", "s4lru",
+// "gdsf").
+func NewEviction(name string) (Eviction, error) {
+	return NewEvictionWithCapacity(name, 0)
+}
+
+// NewEvictionWithCapacity constructs a policy by name, providing the cache's
+// byte capacity to policies that use it (S4LRU segment balancing).
+func NewEvictionWithCapacity(name string, capBytes int64) (Eviction, error) {
+	switch name {
+	case "lru", "":
+		return NewLRU(), nil
+	case "fifo":
+		return NewFIFO(), nil
+	case "lfu":
+		return NewLFU(), nil
+	case "s4lru":
+		return NewS4LRU(capBytes), nil
+	case "gdsf":
+		return NewGDSF(), nil
+	}
+	return nil, fmt.Errorf("cache: unknown eviction policy %q", name)
+}

@@ -1,0 +1,194 @@
+package cache
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func policies() map[string]func() Eviction {
+	return map[string]func() Eviction{
+		"lru":  func() Eviction { return NewLRU() },
+		"fifo": func() Eviction { return NewFIFO() },
+		"lfu":  func() Eviction { return NewLFU() },
+	}
+}
+
+func TestEvictionCommonBehaviour(t *testing.T) {
+	for name, mk := range policies() {
+		t.Run(name, func(t *testing.T) {
+			p := mk()
+			if _, _, ok := p.Victim(); ok {
+				t.Fatal("empty policy has a victim")
+			}
+			p.Insert(1, 100)
+			p.Insert(2, 200)
+			if p.Len() != 2 || p.Bytes() != 300 {
+				t.Fatalf("Len=%d Bytes=%d", p.Len(), p.Bytes())
+			}
+			if !p.Contains(1) || p.Contains(3) {
+				t.Fatal("Contains wrong")
+			}
+			if p.Size(2) != 200 || p.Size(3) != 0 {
+				t.Fatal("Size wrong")
+			}
+			p.Remove(1)
+			if p.Len() != 1 || p.Bytes() != 200 || p.Contains(1) {
+				t.Fatal("Remove wrong")
+			}
+			p.Remove(42) // absent: no-op
+			if p.Len() != 1 {
+				t.Fatal("Remove of absent id changed state")
+			}
+		})
+	}
+}
+
+func TestEvictionReinsertUpdatesSize(t *testing.T) {
+	for name, mk := range policies() {
+		t.Run(name, func(t *testing.T) {
+			p := mk()
+			p.Insert(1, 100)
+			p.Insert(1, 150)
+			if p.Len() != 1 || p.Bytes() != 150 {
+				t.Fatalf("Len=%d Bytes=%d after reinsert", p.Len(), p.Bytes())
+			}
+		})
+	}
+}
+
+func TestLRUOrder(t *testing.T) {
+	p := NewLRU()
+	p.Insert(1, 1)
+	p.Insert(2, 1)
+	p.Insert(3, 1)
+	if id, _, _ := p.Victim(); id != 1 {
+		t.Fatalf("victim = %d, want 1", id)
+	}
+	p.Touch(1) // 2 now oldest
+	if id, _, _ := p.Victim(); id != 2 {
+		t.Fatalf("victim after touch = %d, want 2", id)
+	}
+	p.Touch(99) // absent: no-op
+	if id, _, _ := p.Victim(); id != 2 {
+		t.Fatal("touching absent id changed order")
+	}
+}
+
+func TestFIFOIgnoresTouch(t *testing.T) {
+	p := NewFIFO()
+	p.Insert(1, 1)
+	p.Insert(2, 1)
+	p.Touch(1)
+	if id, _, _ := p.Victim(); id != 1 {
+		t.Fatalf("victim = %d, want 1 (FIFO ignores hits)", id)
+	}
+}
+
+func TestLFUOrder(t *testing.T) {
+	p := NewLFU()
+	p.Insert(1, 1)
+	p.Insert(2, 1)
+	p.Insert(3, 1)
+	p.Touch(1)
+	p.Touch(1)
+	p.Touch(2)
+	// hits: 1→2, 2→1, 3→0
+	if id, _, _ := p.Victim(); id != 3 {
+		t.Fatalf("victim = %d, want 3", id)
+	}
+	p.Remove(3)
+	if id, _, _ := p.Victim(); id != 2 {
+		t.Fatalf("victim = %d, want 2", id)
+	}
+}
+
+func TestLFUTieBreaksByAge(t *testing.T) {
+	p := NewLFU()
+	p.Insert(5, 1)
+	p.Insert(6, 1)
+	if id, _, _ := p.Victim(); id != 5 {
+		t.Fatalf("victim = %d, want older insert 5", id)
+	}
+}
+
+// TestEvictionBytesInvariant: Bytes always equals the sum of resident sizes.
+func TestEvictionBytesInvariant(t *testing.T) {
+	type op struct {
+		Kind uint8
+		ID   uint8
+		Size uint16
+	}
+	for name, mk := range policies() {
+		t.Run(name, func(t *testing.T) {
+			f := func(ops []op) bool {
+				p := mk()
+				ref := map[uint64]int64{}
+				for _, o := range ops {
+					id := uint64(o.ID % 16)
+					switch o.Kind % 3 {
+					case 0:
+						size := int64(o.Size%1000) + 1
+						p.Insert(id, size)
+						ref[id] = size
+					case 1:
+						p.Touch(id)
+					case 2:
+						p.Remove(id)
+						delete(ref, id)
+					}
+					var want int64
+					for _, s := range ref {
+						want += s
+					}
+					if p.Bytes() != want || p.Len() != len(ref) {
+						return false
+					}
+				}
+				return true
+			}
+			if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+func TestLFUHeapStress(t *testing.T) {
+	p := NewLFU()
+	rng := rand.New(rand.NewSource(3))
+	live := map[uint64]bool{}
+	for i := 0; i < 5000; i++ {
+		id := uint64(rng.Intn(100))
+		switch rng.Intn(4) {
+		case 0:
+			p.Insert(id, int64(rng.Intn(100)+1))
+			live[id] = true
+		case 1:
+			p.Touch(id)
+		case 2:
+			p.Remove(id)
+			delete(live, id)
+		case 3:
+			if vid, _, ok := p.Victim(); ok {
+				if !live[vid] {
+					t.Fatalf("victim %d is not live", vid)
+				}
+			}
+		}
+	}
+	if p.Len() != len(live) {
+		t.Fatalf("Len=%d, want %d", p.Len(), len(live))
+	}
+}
+
+func TestNewEviction(t *testing.T) {
+	for _, name := range []string{"", "lru", "fifo", "lfu"} {
+		if _, err := NewEviction(name); err != nil {
+			t.Errorf("NewEviction(%q): %v", name, err)
+		}
+	}
+	if _, err := NewEviction("belady"); err == nil {
+		t.Fatal("unknown policy accepted")
+	}
+}

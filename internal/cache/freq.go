@@ -1,0 +1,102 @@
+package cache
+
+import "darwin/internal/bloom"
+
+// FrequencyTracker counts per-object requests and remembers each object's
+// previous request index so the recency knob can be evaluated.
+type FrequencyTracker interface {
+	// Observe records a request for id arriving as request number idx
+	// (0-based, monotonically increasing) and returns the total observed
+	// count including this request, and the object's age: the number of
+	// requests since its previous request, or -1 if this is the first.
+	Observe(id uint64, idx int64) (count int, age int64)
+	// Reset clears all state (used at epoch boundaries if desired).
+	Reset()
+}
+
+// ExactTracker keeps exact per-object counts and last-seen indices in maps.
+// This is the simulator default; production deployments would use the
+// bounded-memory ApproxTracker.
+type ExactTracker struct {
+	counts   map[uint64]int
+	lastSeen map[uint64]int64
+}
+
+// NewExactTracker returns an empty exact tracker.
+func NewExactTracker() *ExactTracker {
+	return &ExactTracker{
+		counts:   make(map[uint64]int),
+		lastSeen: make(map[uint64]int64),
+	}
+}
+
+// Observe implements FrequencyTracker.
+func (t *ExactTracker) Observe(id uint64, idx int64) (int, int64) {
+	t.counts[id]++
+	age := int64(-1)
+	if prev, ok := t.lastSeen[id]; ok {
+		age = idx - prev
+	}
+	t.lastSeen[id] = idx
+	return t.counts[id], age
+}
+
+// Reset implements FrequencyTracker.
+func (t *ExactTracker) Reset() {
+	t.counts = make(map[uint64]int)
+	t.lastSeen = make(map[uint64]int64)
+}
+
+// Count returns the exact observed count for id.
+func (t *ExactTracker) Count(id uint64) int { return t.counts[id] }
+
+// ApproxTracker bounds memory with a counting Bloom filter for counts and a
+// fixed-size last-seen table (random-replacement). Counts can only be
+// over-estimated, matching production frequency-admission filters.
+type ApproxTracker struct {
+	counting *bloom.Counting
+	lastSeen map[uint64]int64
+	maxLast  int
+}
+
+// NewApproxTracker sizes the tracker for n expected distinct objects.
+func NewApproxTracker(n int) *ApproxTracker {
+	return &ApproxTracker{
+		counting: bloom.NewCounting(n, 0.01),
+		lastSeen: make(map[uint64]int64, n),
+		maxLast:  n,
+	}
+}
+
+// Observe implements FrequencyTracker.
+func (t *ApproxTracker) Observe(id uint64, idx int64) (int, int64) {
+	c := t.counting.Increment(key(id))
+	age := int64(-1)
+	if prev, ok := t.lastSeen[id]; ok {
+		age = idx - prev
+	}
+	if len(t.lastSeen) >= t.maxLast {
+		// Evict one arbitrary entry to stay bounded; Go map iteration order
+		// provides the randomness.
+		for k := range t.lastSeen {
+			delete(t.lastSeen, k)
+			break
+		}
+	}
+	t.lastSeen[id] = idx
+	return int(c), age
+}
+
+// Reset implements FrequencyTracker.
+func (t *ApproxTracker) Reset() {
+	t.counting.Reset()
+	t.lastSeen = make(map[uint64]int64, t.maxLast)
+}
+
+func key(id uint64) string {
+	var b [8]byte
+	for i := 0; i < 8; i++ {
+		b[i] = byte(id >> (8 * i))
+	}
+	return string(b[:])
+}

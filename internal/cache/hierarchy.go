@@ -1,0 +1,329 @@
+package cache
+
+import (
+	"fmt"
+
+	"darwin/internal/bloom"
+	"darwin/internal/trace"
+)
+
+// Result says where a request was served from.
+type Result int
+
+// Request outcomes.
+const (
+	// HOCHit: served from the in-memory Hot Object Cache.
+	HOCHit Result = iota
+	// DCHit: served from the Disk Cache.
+	DCHit
+	// Miss: fetched from the origin over the WAN.
+	Miss
+)
+
+// String implements fmt.Stringer.
+func (r Result) String() string {
+	switch r {
+	case HOCHit:
+		return "hoc-hit"
+	case DCHit:
+		return "dc-hit"
+	case Miss:
+		return "miss"
+	}
+	return fmt.Sprintf("Result(%d)", int(r))
+}
+
+// Metrics accumulates cache performance counters. All byte counters are in
+// bytes; the derived-metric methods implement the paper's objectives.
+type Metrics struct {
+	Requests     int64
+	Bytes        int64
+	HOCHits      int64
+	HOCHitBytes  int64
+	DCHits       int64
+	DCHitBytes   int64
+	Misses       int64
+	MissBytes    int64
+	DCWrites     int64 // objects admitted to the DC
+	DCWriteBytes int64 // bytes written to the DC (SSD endurance driver, §2.2)
+	HOCAdmits    int64 // promotions into the HOC
+}
+
+// OHR returns the HOC object hit rate, the paper's primary metric.
+func (m Metrics) OHR() float64 {
+	if m.Requests == 0 {
+		return 0
+	}
+	return float64(m.HOCHits) / float64(m.Requests)
+}
+
+// TotalOHR returns the combined HOC+DC object hit rate.
+func (m Metrics) TotalOHR() float64 {
+	if m.Requests == 0 {
+		return 0
+	}
+	return float64(m.HOCHits+m.DCHits) / float64(m.Requests)
+}
+
+// BMR returns the HOC byte miss ratio: bytes not served from the HOC over
+// total bytes (§6.3, Figure 6a).
+func (m Metrics) BMR() float64 {
+	if m.Bytes == 0 {
+		return 0
+	}
+	return float64(m.Bytes-m.HOCHitBytes) / float64(m.Bytes)
+}
+
+// DiskWritesPerRequest returns DC write bytes per request, the resource term
+// of the paper's combined objective OHR − k·diskWrites/#requests (§6.3).
+func (m Metrics) DiskWritesPerRequest() float64 {
+	if m.Requests == 0 {
+		return 0
+	}
+	return float64(m.DCWriteBytes) / float64(m.Requests)
+}
+
+// Sub returns m − prev, the metrics accumulated since prev was captured.
+func (m Metrics) Sub(prev Metrics) Metrics {
+	return Metrics{
+		Requests:     m.Requests - prev.Requests,
+		Bytes:        m.Bytes - prev.Bytes,
+		HOCHits:      m.HOCHits - prev.HOCHits,
+		HOCHitBytes:  m.HOCHitBytes - prev.HOCHitBytes,
+		DCHits:       m.DCHits - prev.DCHits,
+		DCHitBytes:   m.DCHitBytes - prev.DCHitBytes,
+		Misses:       m.Misses - prev.Misses,
+		MissBytes:    m.MissBytes - prev.MissBytes,
+		DCWrites:     m.DCWrites - prev.DCWrites,
+		DCWriteBytes: m.DCWriteBytes - prev.DCWriteBytes,
+		HOCAdmits:    m.HOCAdmits - prev.HOCAdmits,
+	}
+}
+
+// Config parameterises a Hierarchy.
+type Config struct {
+	// HOCBytes and DCBytes are the level capacities.
+	HOCBytes, DCBytes int64
+	// HOCEviction and DCEviction name the eviction policies ("lru" default).
+	HOCEviction, DCEviction string
+	// Expert is the initial HOC admission expert.
+	Expert Expert
+	// Tracker counts object frequencies; nil selects NewExactTracker.
+	Tracker FrequencyTracker
+	// BloomObjects sizes the DC one-hit-wonder filter; 0 selects a default
+	// of one million expected objects.
+	BloomObjects int
+}
+
+// Hierarchy is the two-level HOC+DC cache server model (Figure 1 of the
+// paper). Requests flow HOC → DC → origin; a DC hit may promote the object
+// into the HOC subject to the current admission expert; a miss admits the
+// object into the DC only on its second request (Bloom filter).
+type Hierarchy struct {
+	hoc, dc        Eviction
+	hocCap, dcCap  int64
+	expert         Expert
+	admission      AdmissionFunc
+	tracker        FrequencyTracker
+	seen           *bloom.Filter
+	admitOnMiss    bool
+	reqIdx         int64
+	m              Metrics
+	expertSwitches int64
+}
+
+// AdmissionFunc is a custom HOC admission predicate. It receives the
+// object's observed request count (including the current request), its size,
+// and its age in requests since the previous request (-1 when first seen).
+// Baselines with non-threshold admission rules (e.g. AdaptSize's
+// probabilistic size filter) install one via SetAdmission.
+type AdmissionFunc func(count int, size int64, age int64) bool
+
+// New builds a Hierarchy from cfg.
+func New(cfg Config) (*Hierarchy, error) {
+	if cfg.HOCBytes <= 0 || cfg.DCBytes <= 0 {
+		return nil, fmt.Errorf("cache: capacities must be positive (hoc=%d dc=%d)", cfg.HOCBytes, cfg.DCBytes)
+	}
+	hoc, err := NewEvictionWithCapacity(cfg.HOCEviction, cfg.HOCBytes)
+	if err != nil {
+		return nil, err
+	}
+	dc, err := NewEvictionWithCapacity(cfg.DCEviction, cfg.DCBytes)
+	if err != nil {
+		return nil, err
+	}
+	tracker := cfg.Tracker
+	if tracker == nil {
+		tracker = NewExactTracker()
+	}
+	nBloom := cfg.BloomObjects
+	if nBloom <= 0 {
+		nBloom = 1 << 20
+	}
+	return &Hierarchy{
+		hoc:     hoc,
+		dc:      dc,
+		hocCap:  cfg.HOCBytes,
+		dcCap:   cfg.DCBytes,
+		expert:  cfg.Expert,
+		tracker: tracker,
+		seen:    bloom.New(nBloom, 0.01),
+	}, nil
+}
+
+// SetExpert swaps the HOC admission expert; Darwin's online phase calls this
+// at round and epoch boundaries.
+func (h *Hierarchy) SetExpert(e Expert) {
+	if e != h.expert {
+		h.expertSwitches++
+	}
+	h.expert = e
+}
+
+// Expert returns the currently deployed admission expert.
+func (h *Hierarchy) Expert() Expert { return h.expert }
+
+// SetAdmission installs a custom HOC admission predicate that overrides the
+// expert thresholds; passing nil restores expert-based admission.
+func (h *Hierarchy) SetAdmission(f AdmissionFunc) { h.admission = f }
+
+// SetAdmitOnMiss also evaluates HOC admission on full misses (after the
+// origin fetch), not only on DC hits. Darwin's experts promote only on DC
+// hits (Figure 1), but AdaptSize-style per-request admission decides for
+// every fetched object — which is how one-hit wonders can pollute its HOC
+// (§3.2.1).
+func (h *Hierarchy) SetAdmitOnMiss(v bool) { h.admitOnMiss = v }
+
+// ExpertSwitches returns how many times the deployed expert changed.
+func (h *Hierarchy) ExpertSwitches() int64 { return h.expertSwitches }
+
+// Serve processes one request and returns where it was served from.
+func (h *Hierarchy) Serve(r trace.Request) Result {
+	idx := h.reqIdx
+	h.reqIdx++
+	count, age := h.tracker.Observe(r.ID, idx)
+
+	h.m.Requests++
+	h.m.Bytes += r.Size
+
+	if h.hoc.Contains(r.ID) {
+		h.hoc.Touch(r.ID)
+		h.m.HOCHits++
+		h.m.HOCHitBytes += r.Size
+		return HOCHit
+	}
+
+	if h.dc.Contains(r.ID) {
+		h.dc.Touch(r.ID)
+		h.m.DCHits++
+		h.m.DCHitBytes += r.Size
+		// Promotion into the HOC is governed by the deployed expert (or a
+		// custom admission override).
+		admit := h.expert.Admit(count, r.Size, age)
+		if h.admission != nil {
+			admit = h.admission(count, r.Size, age)
+		}
+		if admit {
+			h.admitHOC(r.ID, r.Size)
+		}
+		return DCHit
+	}
+
+	// Full miss: fetch from origin. DC admission sheds one-hit wonders by
+	// admitting only objects previously recorded in the Bloom filter (§2.2).
+	h.m.Misses++
+	h.m.MissBytes += r.Size
+	if h.seen.TestAndAdd(key(r.ID)) {
+		h.admitDC(r.ID, r.Size)
+	}
+	if h.admitOnMiss && h.admission != nil && h.admission(count, r.Size, age) {
+		h.admitHOC(r.ID, r.Size)
+	}
+	return Miss
+}
+
+func (h *Hierarchy) admitHOC(id uint64, size int64) {
+	if size > h.hocCap {
+		return
+	}
+	for h.hoc.Bytes()+size > h.hocCap {
+		vid, _, ok := h.hoc.Victim()
+		if !ok {
+			return
+		}
+		h.hoc.Remove(vid)
+	}
+	h.hoc.Insert(id, size)
+	h.m.HOCAdmits++
+}
+
+func (h *Hierarchy) admitDC(id uint64, size int64) {
+	if size > h.dcCap {
+		return
+	}
+	for h.dc.Bytes()+size > h.dcCap {
+		vid, _, ok := h.dc.Victim()
+		if !ok {
+			return
+		}
+		h.dc.Remove(vid)
+	}
+	h.dc.Insert(id, size)
+	h.m.DCWrites++
+	h.m.DCWriteBytes += size
+}
+
+// Play serves every request in tr.
+func (h *Hierarchy) Play(tr *trace.Trace) {
+	for _, r := range tr.Requests {
+		h.Serve(r)
+	}
+}
+
+// Metrics returns a snapshot of the accumulated counters.
+func (h *Hierarchy) Metrics() Metrics { return h.m }
+
+// ResetMetrics zeroes the counters without disturbing cache contents — used
+// to exclude warm-up requests from reported results, as the paper does with
+// the first 1M requests of every trace.
+func (h *Hierarchy) ResetMetrics() { h.m = Metrics{} }
+
+// HOCBytes returns resident HOC bytes (for occupancy assertions in tests).
+func (h *Hierarchy) HOCBytes() int64 { return h.hoc.Bytes() }
+
+// DCBytes returns resident DC bytes.
+func (h *Hierarchy) DCBytes() int64 { return h.dc.Bytes() }
+
+// HOCLen returns the number of HOC-resident objects.
+func (h *Hierarchy) HOCLen() int { return h.hoc.Len() }
+
+// DCLen returns the number of DC-resident objects.
+func (h *Hierarchy) DCLen() int { return h.dc.Len() }
+
+// HOCContains reports HOC residency (prototype fast path).
+func (h *Hierarchy) HOCContains(id uint64) bool { return h.hoc.Contains(id) }
+
+// HOCVictim returns the object the HOC eviction policy would evict next —
+// used by admission filters (e.g. TinyLFU) that compare a candidate against
+// the incumbent victim.
+func (h *Hierarchy) HOCVictim() (id uint64, size int64, ok bool) { return h.hoc.Victim() }
+
+// SetHOCEviction swaps the HOC eviction policy at runtime, migrating the
+// resident objects into the new policy (in the old policy's victim-first
+// order, so relative protection is approximately preserved). This supports
+// the §7 future-work extension — learning eviction decisions with the same
+// expert-selection machinery.
+func (h *Hierarchy) SetHOCEviction(name string) error {
+	next, err := NewEvictionWithCapacity(name, h.hocCap)
+	if err != nil {
+		return err
+	}
+	entries := h.hoc.Entries()
+	// Insert most-protected objects last so list-based policies place them
+	// nearest the MRU end.
+	for _, e := range entries {
+		next.Insert(e.ID, e.Size)
+	}
+	h.hoc = next
+	return nil
+}

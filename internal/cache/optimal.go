@@ -1,0 +1,123 @@
+package cache
+
+import (
+	"container/heap"
+
+	"darwin/internal/trace"
+)
+
+// OfflineOptimal computes a clairvoyant (Belady-style) hit-rate bound for a
+// single cache of the given byte capacity over tr: on each miss the object
+// is admitted only if it is requested again, and eviction removes the
+// resident object whose next request is farthest in the future. With
+// variable object sizes this greedy rule is not provably optimal (size-aware
+// MIN is NP-hard), but it is the standard clairvoyant upper-bound heuristic
+// (cf. LRB's "relaxed Belady" boundary) and serves as the "hindsight
+// optimal" reference of requirement R1 (§3.2.1).
+//
+// It returns the number of hits and requests over the post-warm-up region.
+func OfflineOptimal(tr *trace.Trace, capacity int64, warmupFrac float64) (hits, requests int64) {
+	n := tr.Len()
+	if n == 0 || capacity <= 0 {
+		return 0, 0
+	}
+	// next[i] = index of the next request for the same object, or n.
+	next := make([]int, n)
+	last := make(map[uint64]int, n/2)
+	for i := n - 1; i >= 0; i-- {
+		id := tr.Requests[i].ID
+		if j, ok := last[id]; ok {
+			next[i] = j
+		} else {
+			next[i] = n
+		}
+		last[id] = i
+	}
+
+	warm := int(float64(n) * warmupFrac)
+	resident := make(map[uint64]int64, 1024) // id → size
+	nextUse := make(map[uint64]int, 1024)    // id → next request index
+	h := &farthestHeap{}
+	var bytes int64
+
+	for i, r := range tr.Requests {
+		if i == warm {
+			hits, requests = 0, 0
+		}
+		requests++
+		if _, ok := resident[r.ID]; ok {
+			hits++
+			if next[i] >= n {
+				// Never requested again: free the space immediately (the
+				// clairvoyant policy would evict it next anyway).
+				bytes -= resident[r.ID]
+				delete(resident, r.ID)
+				delete(nextUse, r.ID)
+			} else {
+				nextUse[r.ID] = next[i]
+				heap.Push(h, heapEntry{id: r.ID, next: next[i]})
+			}
+			continue
+		}
+		// Miss. Admit only objects that will be requested again and fit.
+		if next[i] >= n || r.Size > capacity {
+			continue
+		}
+		for bytes+r.Size > capacity {
+			// Evict the valid entry with the farthest next use; skip stale
+			// heap entries (lazy deletion).
+			top := heap.Pop(h).(heapEntry)
+			cur, ok := nextUse[top.id]
+			if !ok || cur != top.next {
+				continue
+			}
+			// Don't evict something needed sooner than the newcomer — then
+			// the newcomer is the worst choice, so skip admitting it.
+			if top.next < next[i] {
+				heap.Push(h, top)
+				break
+			}
+			bytes -= resident[top.id]
+			delete(resident, top.id)
+			delete(nextUse, top.id)
+		}
+		if bytes+r.Size > capacity {
+			continue // newcomer was the farthest-use object; not admitted
+		}
+		resident[r.ID] = r.Size
+		nextUse[r.ID] = next[i]
+		bytes += r.Size
+		heap.Push(h, heapEntry{id: r.ID, next: next[i]})
+	}
+	return hits, requests
+}
+
+// heapEntry is one (possibly stale) residency record in the farthest heap.
+type heapEntry struct {
+	id   uint64
+	next int
+}
+
+// farthestHeap is a max-heap on next request index.
+type farthestHeap []heapEntry
+
+func (h farthestHeap) Len() int           { return len(h) }
+func (h farthestHeap) Less(i, j int) bool { return h[i].next > h[j].next }
+func (h farthestHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
+func (h *farthestHeap) Push(x any)        { *h = append(*h, x.(heapEntry)) }
+func (h *farthestHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	*h = old[:n-1]
+	return e
+}
+
+// OfflineOptimalOHR is OfflineOptimal expressed as a hit rate.
+func OfflineOptimalOHR(tr *trace.Trace, capacity int64, warmupFrac float64) float64 {
+	hits, requests := OfflineOptimal(tr, capacity, warmupFrac)
+	if requests == 0 {
+		return 0
+	}
+	return float64(hits) / float64(requests)
+}

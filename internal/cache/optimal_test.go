@@ -1,0 +1,111 @@
+package cache
+
+import (
+	"testing"
+
+	"darwin/internal/trace"
+	"darwin/internal/tracegen"
+)
+
+func seq(ids ...uint64) *trace.Trace {
+	tr := &trace.Trace{Name: "seq"}
+	for i, id := range ids {
+		tr.Requests = append(tr.Requests, trace.Request{ID: id, Size: 1, Time: int64(i)})
+	}
+	return tr
+}
+
+func TestOfflineOptimalClassicBelady(t *testing.T) {
+	// The canonical Belady example: capacity 3 (unit sizes),
+	// sequence 1 2 3 4 1 2 5 1 2 3 4 5.
+	tr := seq(1, 2, 3, 4, 1, 2, 5, 1, 2, 3, 4, 5)
+	hits, requests := OfflineOptimal(tr, 3, 0)
+	if requests != 12 {
+		t.Fatalf("requests = %d", requests)
+	}
+	// Optimal (MIN) incurs 7 faults on this sequence → 5 hits... with
+	// admission-optional MIN the bound can only be >= the classic MIN hits.
+	if hits < 5 {
+		t.Fatalf("hits = %d, want >= 5 (classic MIN achieves 5)", hits)
+	}
+	if hits > 7 {
+		t.Fatalf("hits = %d, impossible (only 7 re-references exist)", hits)
+	}
+}
+
+func TestOfflineOptimalPerfectWhenFits(t *testing.T) {
+	// Everything fits: every re-reference is a hit.
+	tr := seq(1, 2, 3, 1, 2, 3, 1, 2, 3)
+	hits, _ := OfflineOptimal(tr, 100, 0)
+	if hits != 6 {
+		t.Fatalf("hits = %d, want 6", hits)
+	}
+}
+
+func TestOfflineOptimalSkipsOneHitWonders(t *testing.T) {
+	// Capacity 1: object 2 appears once and must never displace object 1.
+	tr := seq(1, 2, 1, 3, 1, 4, 1)
+	hits, _ := OfflineOptimal(tr, 1, 0)
+	if hits != 3 {
+		t.Fatalf("hits = %d, want 3 (all re-references of object 1)", hits)
+	}
+}
+
+func TestOfflineOptimalBoundsEveryExpert(t *testing.T) {
+	tr, err := tracegen.ImageDownloadMix(50, 20000, 91)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := EvalConfig{HOCBytes: 256 << 10, DCBytes: 32 << 20, WarmupFrac: 0.1}
+	bound := OfflineOptimalOHR(tr, cfg.HOCBytes, cfg.WarmupFrac)
+	for _, e := range DefaultGrid()[:12] {
+		m, err := Evaluate(tr, e, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if m.OHR() > bound+1e-9 {
+			t.Fatalf("expert %v OHR %.4f exceeds clairvoyant bound %.4f", e, m.OHR(), bound)
+		}
+	}
+	if bound <= 0 || bound >= 1 {
+		t.Fatalf("bound = %v not sensible", bound)
+	}
+}
+
+func TestOfflineOptimalEdgeCases(t *testing.T) {
+	if h, r := OfflineOptimal(&trace.Trace{}, 100, 0); h != 0 || r != 0 {
+		t.Fatal("empty trace should be 0/0")
+	}
+	if h, _ := OfflineOptimal(seq(1, 1), 0, 0); h != 0 {
+		t.Fatal("zero capacity cannot hit")
+	}
+	// Object larger than capacity is never admitted.
+	big := &trace.Trace{Requests: []trace.Request{
+		{ID: 1, Size: 100, Time: 0}, {ID: 1, Size: 100, Time: 1},
+	}}
+	if h, _ := OfflineOptimal(big, 10, 0); h != 0 {
+		t.Fatal("oversized object hit")
+	}
+}
+
+func TestOfflineOptimalWarmupExclusion(t *testing.T) {
+	tr := seq(1, 1, 1, 1, 1, 1, 1, 1, 1, 1)
+	hits, requests := OfflineOptimal(tr, 10, 0.5)
+	if requests != 5 {
+		t.Fatalf("requests = %d, want 5 post-warm-up", requests)
+	}
+	if hits != 5 {
+		t.Fatalf("hits = %d, want 5", hits)
+	}
+}
+
+func BenchmarkOfflineOptimal(b *testing.B) {
+	tr, err := tracegen.ImageDownloadMix(50, 50000, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		OfflineOptimal(tr, 256<<10, 0.1)
+	}
+}

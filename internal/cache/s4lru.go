@@ -1,0 +1,148 @@
+package cache
+
+import "container/list"
+
+// S4LRU is the segmented LRU policy with four queues used by several
+// production CDNs (cf. Huang et al., "An Analysis of Facebook Photo
+// Caching"): objects enter the lowest segment; a hit promotes an object one
+// segment up; each segment holds at most a quarter of the capacity's
+// *object-count budget* worth of recency, with overflowing heads demoted to
+// the segment below. Eviction takes the LRU tail of the lowest non-empty
+// segment. It is provided as an eviction ablation against the paper's LRU
+// default.
+type S4LRU struct {
+	segs  [4]*list.List // index 0 = lowest; front = most recent
+	index map[uint64]*s4Entry
+	bytes int64
+	// segBytes tracks per-segment resident bytes; each segment is balanced
+	// to at most 1/4 of total bytes on insertion/promotion.
+	segBytes [4]int64
+	capHint  int64
+}
+
+type s4Entry struct {
+	id   uint64
+	size int64
+	seg  int
+	el   *list.Element
+}
+
+// NewS4LRU returns an empty segmented-LRU policy. capHint bounds per-segment
+// bytes to capHint/4; a zero hint disables segment balancing (segments then
+// only bound each other through demotion on eviction pressure).
+func NewS4LRU(capHint int64) *S4LRU {
+	s := &S4LRU{index: make(map[uint64]*s4Entry), capHint: capHint}
+	for i := range s.segs {
+		s.segs[i] = list.New()
+	}
+	return s
+}
+
+// Insert implements Eviction: new objects enter segment 0.
+func (s *S4LRU) Insert(id uint64, size int64) {
+	if e, ok := s.index[id]; ok {
+		s.bytes += size - e.size
+		s.segBytes[e.seg] += size - e.size
+		e.size = size
+		s.segs[e.seg].MoveToFront(e.el)
+		return
+	}
+	e := &s4Entry{id: id, size: size, seg: 0}
+	e.el = s.segs[0].PushFront(e)
+	s.index[id] = e
+	s.bytes += size
+	s.segBytes[0] += size
+	s.balance(0)
+}
+
+// Touch implements Eviction: hits promote one segment up.
+func (s *S4LRU) Touch(id uint64) {
+	e, ok := s.index[id]
+	if !ok {
+		return
+	}
+	target := e.seg
+	if target < 3 {
+		target++
+	}
+	s.segs[e.seg].Remove(e.el)
+	s.segBytes[e.seg] -= e.size
+	e.seg = target
+	e.el = s.segs[target].PushFront(e)
+	s.segBytes[target] += e.size
+	s.balance(target)
+}
+
+// balance demotes LRU tails of over-budget segments downward.
+func (s *S4LRU) balance(from int) {
+	if s.capHint <= 0 {
+		return
+	}
+	budget := s.capHint / 4
+	for seg := from; seg >= 1; seg-- {
+		for s.segBytes[seg] > budget {
+			el := s.segs[seg].Back()
+			if el == nil {
+				break
+			}
+			e := el.Value.(*s4Entry)
+			s.segs[seg].Remove(el)
+			s.segBytes[seg] -= e.size
+			e.seg = seg - 1
+			e.el = s.segs[seg-1].PushFront(e)
+			s.segBytes[seg-1] += e.size
+		}
+	}
+}
+
+// Victim implements Eviction: the LRU tail of the lowest non-empty segment.
+func (s *S4LRU) Victim() (uint64, int64, bool) {
+	for _, seg := range s.segs {
+		if el := seg.Back(); el != nil {
+			e := el.Value.(*s4Entry)
+			return e.id, e.size, true
+		}
+	}
+	return 0, 0, false
+}
+
+// Remove implements Eviction.
+func (s *S4LRU) Remove(id uint64) {
+	e, ok := s.index[id]
+	if !ok {
+		return
+	}
+	s.segs[e.seg].Remove(e.el)
+	s.segBytes[e.seg] -= e.size
+	s.bytes -= e.size
+	delete(s.index, id)
+}
+
+// Contains implements Eviction.
+func (s *S4LRU) Contains(id uint64) bool { _, ok := s.index[id]; return ok }
+
+// Size implements Eviction.
+func (s *S4LRU) Size(id uint64) int64 {
+	if e, ok := s.index[id]; ok {
+		return e.size
+	}
+	return 0
+}
+
+// Len implements Eviction.
+func (s *S4LRU) Len() int { return len(s.index) }
+
+// Bytes implements Eviction.
+func (s *S4LRU) Bytes() int64 { return s.bytes }
+
+// Entries implements Eviction (victim-first: lowest segment tails first).
+func (s *S4LRU) Entries() []ResidentObject {
+	out := make([]ResidentObject, 0, len(s.index))
+	for _, seg := range s.segs {
+		for el := seg.Back(); el != nil; el = el.Prev() {
+			e := el.Value.(*s4Entry)
+			out = append(out, ResidentObject{ID: e.id, Size: e.size})
+		}
+	}
+	return out
+}

@@ -1,0 +1,146 @@
+package cache
+
+import (
+	"testing"
+	"testing/quick"
+
+	"darwin/internal/tracegen"
+)
+
+func TestS4LRUImplementsEviction(t *testing.T) {
+	var _ Eviction = NewS4LRU(0)
+	if _, err := NewEviction("s4lru"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestS4LRUBasics(t *testing.T) {
+	s := NewS4LRU(0)
+	if _, _, ok := s.Victim(); ok {
+		t.Fatal("empty policy has victim")
+	}
+	s.Insert(1, 100)
+	s.Insert(2, 200)
+	if s.Len() != 2 || s.Bytes() != 300 {
+		t.Fatalf("Len=%d Bytes=%d", s.Len(), s.Bytes())
+	}
+	if !s.Contains(1) || s.Size(2) != 200 {
+		t.Fatal("lookup broken")
+	}
+	s.Remove(1)
+	if s.Len() != 1 || s.Bytes() != 200 {
+		t.Fatal("remove broken")
+	}
+	s.Remove(42) // absent
+	s.Touch(42)  // absent
+	if s.Len() != 1 {
+		t.Fatal("absent ops changed state")
+	}
+	s.Insert(2, 250) // reinsert updates size
+	if s.Bytes() != 250 || s.Len() != 1 {
+		t.Fatalf("reinsert: Len=%d Bytes=%d", s.Len(), s.Bytes())
+	}
+}
+
+func TestS4LRUPromotedSurvivesColdInserts(t *testing.T) {
+	// A once-hit object sits in segment 1; cold objects flood segment 0 and
+	// must be evicted before it.
+	s := NewS4LRU(0)
+	s.Insert(1, 1)
+	s.Touch(1) // promote to segment 1
+	for id := uint64(100); id < 110; id++ {
+		s.Insert(id, 1)
+	}
+	for i := 0; i < 10; i++ {
+		vid, _, ok := s.Victim()
+		if !ok {
+			t.Fatal("no victim")
+		}
+		if vid == 1 {
+			t.Fatalf("promoted object evicted before %d cold objects", 10-i)
+		}
+		s.Remove(vid)
+	}
+	if !s.Contains(1) {
+		t.Fatal("promoted object lost")
+	}
+}
+
+func TestS4LRUBalancingDemotes(t *testing.T) {
+	// With a capacity hint, an over-full upper segment demotes its tail.
+	s := NewS4LRU(40) // per-segment budget 10
+	for id := uint64(1); id <= 4; id++ {
+		s.Insert(id, 5)
+		s.Touch(id) // everything lands in segment 1 (20 bytes > 10 budget)
+	}
+	// The balance pass must have demoted some objects back to segment 0.
+	if s.segBytes[1] > 10 {
+		t.Fatalf("segment 1 holds %d bytes, budget 10", s.segBytes[1])
+	}
+	if s.Bytes() != 20 || s.Len() != 4 {
+		t.Fatalf("totals wrong: %d/%d", s.Bytes(), s.Len())
+	}
+}
+
+func TestS4LRUBytesInvariant(t *testing.T) {
+	type op struct {
+		Kind uint8
+		ID   uint8
+		Size uint16
+	}
+	f := func(ops []op) bool {
+		s := NewS4LRU(1000)
+		ref := map[uint64]int64{}
+		for _, o := range ops {
+			id := uint64(o.ID % 16)
+			switch o.Kind % 3 {
+			case 0:
+				size := int64(o.Size%100) + 1
+				s.Insert(id, size)
+				ref[id] = size
+			case 1:
+				s.Touch(id)
+			case 2:
+				s.Remove(id)
+				delete(ref, id)
+			}
+			var want int64
+			for _, sz := range ref {
+				want += sz
+			}
+			if s.Bytes() != want || s.Len() != len(ref) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHierarchyWithS4LRU(t *testing.T) {
+	tr, err := tracegen.ImageDownloadMix(50, 20000, 61)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := EvalConfig{HOCBytes: 256 << 10, DCBytes: 32 << 20, WarmupFrac: 0.1, HOCEviction: "s4lru"}
+	m, err := Evaluate(tr, Expert{Freq: 2, MaxSize: 50 << 10}, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.HOCHits == 0 {
+		t.Fatal("no HOC hits under s4lru")
+	}
+	// And capacity must hold.
+	h, err := New(Config{HOCBytes: 64 << 10, DCBytes: 1 << 20, HOCEviction: "s4lru", Expert: Expert{Freq: 1, MaxSize: 50 << 10}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range tr.Requests[:5000] {
+		h.Serve(r)
+		if h.HOCBytes() > 64<<10 {
+			t.Fatalf("HOC over capacity under s4lru: %d", h.HOCBytes())
+		}
+	}
+}

@@ -1,0 +1,181 @@
+package core
+
+import (
+	"fmt"
+
+	"darwin/internal/bandit"
+	"darwin/internal/cache"
+	"darwin/internal/trace"
+)
+
+// EvictionSelector implements the paper's §7 future-work direction: applying
+// Darwin's online expert-selection machinery to *eviction* decisions. The
+// arms are HOC eviction policies; each epoch the selector deploys policies
+// over rounds on the live cache (migrating resident objects on each swap via
+// Hierarchy.SetHOCEviction), collects the observed objective reward, and
+// commits to the identified best policy for the remainder of the epoch.
+//
+// Eviction policies have no cross-expert structure analogous to the
+// admission experts' threshold nesting, so no fictitious samples are
+// generated: the bandit runs with standard feedback (infinite off-diagonal
+// variances), which the paper's framework also supports. A systematic
+// eviction-side predictor is exactly what the paper defers to future work.
+type EvictionSelector struct {
+	hier      *cache.Hierarchy
+	cfg       EvictionSelectorConfig
+	objective Objective
+
+	alg        *bandit.Algorithm
+	curArm     int
+	epochReqs  int
+	roundReqs  int
+	roundStart cache.Metrics
+	exploiting bool
+	choices    []string
+}
+
+// EvictionSelectorConfig parameterises the selector.
+type EvictionSelectorConfig struct {
+	// Policies are the candidate HOC eviction policies (default
+	// {"lru","s4lru","lfu","gdsf"}).
+	Policies []string
+	// Epoch, Round mirror the admission controller's online knobs.
+	Epoch, Round int
+	// Delta is the bandit failure probability.
+	Delta float64
+	// StabilityRounds is the practical stop (default 5).
+	StabilityRounds int
+	// RewardVariance is the assumed per-round reward variance (default
+	// 0.25/50, matching the admission controller's Neff scaling of a
+	// worst-case Bernoulli round).
+	RewardVariance float64
+	// Objective is the reward (default OHRObjective).
+	Objective Objective
+}
+
+func (c EvictionSelectorConfig) withDefaults() EvictionSelectorConfig {
+	if len(c.Policies) == 0 {
+		c.Policies = []string{"lru", "s4lru", "lfu", "gdsf"}
+	}
+	if c.Delta <= 0 {
+		c.Delta = 0.05
+	}
+	if c.StabilityRounds == 0 {
+		c.StabilityRounds = 5
+	}
+	if c.RewardVariance <= 0 {
+		c.RewardVariance = 0.25 / 50
+	}
+	if c.Objective == nil {
+		c.Objective = OHRObjective{}
+	}
+	return c
+}
+
+// NewEvictionSelector wires a selector to a hierarchy.
+func NewEvictionSelector(hier *cache.Hierarchy, cfg EvictionSelectorConfig) (*EvictionSelector, error) {
+	if hier == nil {
+		return nil, fmt.Errorf("core: nil hierarchy")
+	}
+	cfg = cfg.withDefaults()
+	if len(cfg.Policies) < 2 {
+		return nil, fmt.Errorf("core: need at least 2 eviction policies")
+	}
+	if cfg.Epoch <= 0 || cfg.Round <= 0 || cfg.Round*(len(cfg.Policies)+1) > cfg.Epoch {
+		return nil, fmt.Errorf("core: epoch %d too short for %d policies at round %d",
+			cfg.Epoch, len(cfg.Policies), cfg.Round)
+	}
+	for _, p := range cfg.Policies {
+		if _, err := cache.NewEviction(p); err != nil {
+			return nil, err
+		}
+	}
+	s := &EvictionSelector{hier: hier, cfg: cfg, objective: cfg.Objective}
+	if err := s.startEpoch(); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// startEpoch (re)initialises the bandit with standard feedback.
+func (s *EvictionSelector) startEpoch() error {
+	own := make([]float64, len(s.cfg.Policies))
+	for i := range own {
+		own[i] = s.cfg.RewardVariance
+	}
+	alg, err := bandit.New(bandit.Config{
+		Sigma2:          bandit.StandardSigma2(own),
+		Delta:           s.cfg.Delta,
+		M:               1,
+		C:               100,
+		StabilityRounds: s.cfg.StabilityRounds,
+		MaxRounds:       s.cfg.Epoch/s.cfg.Round - 1,
+	})
+	if err != nil {
+		return err
+	}
+	s.alg = alg
+	s.exploiting = false
+	s.epochReqs = 0
+	s.roundReqs = 0
+	s.curArm = alg.NextArm()
+	if err := s.hier.SetHOCEviction(s.cfg.Policies[s.curArm]); err != nil {
+		return err
+	}
+	s.roundStart = s.hier.Metrics()
+	return nil
+}
+
+// Serve processes one request, advancing the selection state machine.
+func (s *EvictionSelector) Serve(r trace.Request) cache.Result {
+	res := s.hier.Serve(r)
+	s.epochReqs++
+	if !s.exploiting {
+		s.roundReqs++
+		if s.roundReqs >= s.cfg.Round {
+			s.finishRound()
+		}
+	}
+	if s.epochReqs >= s.cfg.Epoch {
+		s.choices = append(s.choices, s.Deployed())
+		_ = s.startEpoch() // policies already validated; cannot fail
+	}
+	return res
+}
+
+func (s *EvictionSelector) finishRound() {
+	delta := s.hier.Metrics().Sub(s.roundStart)
+	rewards := make([]float64, len(s.cfg.Policies))
+	rewards[s.curArm] = s.objective.Reward(delta)
+	if err := s.alg.Update(s.curArm, rewards); err != nil {
+		s.exploiting = true
+		return
+	}
+	if s.alg.Stopped() {
+		best := s.alg.Recommendation()
+		_ = s.hier.SetHOCEviction(s.cfg.Policies[best])
+		s.curArm = best
+		s.exploiting = true
+		return
+	}
+	next := s.alg.NextArm()
+	if next != s.curArm {
+		_ = s.hier.SetHOCEviction(s.cfg.Policies[next])
+		s.curArm = next
+	}
+	s.roundStart = s.hier.Metrics()
+	s.roundReqs = 0
+}
+
+// Deployed returns the currently deployed eviction policy name.
+func (s *EvictionSelector) Deployed() string { return s.cfg.Policies[s.curArm] }
+
+// Exploiting reports whether identification has finished for this epoch.
+func (s *EvictionSelector) Exploiting() bool { return s.exploiting }
+
+// Choices returns the policy committed to at the end of each completed
+// epoch.
+func (s *EvictionSelector) Choices() []string { return append([]string(nil), s.choices...) }
+
+// Metrics returns the hierarchy's metrics.
+func (s *EvictionSelector) Metrics() cache.Metrics { return s.hier.Metrics() }

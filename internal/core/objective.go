@@ -1,0 +1,176 @@
+// Package core implements the Darwin pipeline itself (§4): the offline phase
+// — expert evaluation over historical traces, unsupervised clustering,
+// expert-set association, and cross-expert predictor training — and the
+// online phase — per-epoch feature estimation, cluster lookup, and
+// best-expert identification with the Track-and-Stop-with-Side-Information
+// bandit, followed by deployment of the identified expert.
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"darwin/internal/cache"
+)
+
+// SizeProfile is the bucketised request-size distribution observed during
+// feature collection, together with each bucket's representative size. §6.3
+// uses it to convert estimated hit rates of non-deployed experts into
+// byte-level objectives (BMR, disk writes).
+type SizeProfile struct {
+	// Fractions[b] is the fraction of requests in bucket b.
+	Fractions []float64
+	// Sizes[b] is the representative (geometric-mean) size of bucket b in
+	// bytes.
+	Sizes []float64
+}
+
+// NewSizeProfile pairs bucket fractions with log-scale representative sizes
+// spanning [minSize, maxSize), mirroring features.Config bucketing.
+func NewSizeProfile(fractions []float64, minSize, maxSize int64) SizeProfile {
+	n := len(fractions)
+	sizes := make([]float64, n)
+	lo, hi := math.Log2(float64(minSize)), math.Log2(float64(maxSize))
+	for b := 0; b < n; b++ {
+		mid := lo + (hi-lo)*(float64(b)+0.5)/float64(n)
+		sizes[b] = math.Exp2(mid)
+	}
+	return SizeProfile{Fractions: fractions, Sizes: sizes}
+}
+
+// MeanSize returns E[size] per request in bytes.
+func (p SizeProfile) MeanSize() float64 {
+	var m float64
+	for b, f := range p.Fractions {
+		m += f * p.Sizes[b]
+	}
+	return m
+}
+
+// MeanSizeBelow returns E[size · 1{size <= threshold}] per request.
+func (p SizeProfile) MeanSizeBelow(threshold int64) float64 {
+	var m float64
+	for b, f := range p.Fractions {
+		if p.Sizes[b] <= float64(threshold) {
+			m += f * p.Sizes[b]
+		}
+	}
+	return m
+}
+
+// EstimateBMR converts an estimated HOC hit rate for an expert with size
+// threshold s into an estimated byte miss ratio: hits are confined to objects
+// of size <= s, so the expected bytes served from the HOC per request are
+// ohr · E[size | size <= s], and BMR = 1 − hitBytes/E[size].
+func (p SizeProfile) EstimateBMR(ohr float64, e cache.Expert) float64 {
+	mean := p.MeanSize()
+	if mean <= 0 {
+		return 1
+	}
+	below := p.MeanSizeBelow(e.MaxSize)
+	totalBelow := 0.0
+	for b, f := range p.Fractions {
+		if p.Sizes[b] <= float64(e.MaxSize) {
+			totalBelow += f
+		}
+	}
+	var meanHitSize float64
+	if totalBelow > 0 {
+		meanHitSize = below / totalBelow
+	}
+	bmr := 1 - ohr*meanHitSize/mean
+	if bmr < 0 {
+		return 0
+	}
+	if bmr > 1 {
+		return 1
+	}
+	return bmr
+}
+
+// Objective maps cache behaviour to a scalar reward the bandit maximises.
+// Implementations must be consistent between the deployed expert's real
+// metrics (Reward) and the cross-expert estimate for non-deployed experts
+// (RewardFromOHR), since both feed the same estimator.
+type Objective interface {
+	// Name labels the objective in reports.
+	Name() string
+	// Reward computes the reward of a deployed expert from its round metrics.
+	Reward(m cache.Metrics) float64
+	// RewardFromOHR estimates the reward of a non-deployed expert e from its
+	// predicted HOC hit rate and the observed size profile.
+	RewardFromOHR(ohr float64, prof SizeProfile, e cache.Expert) float64
+}
+
+// OHRObjective maximises the HOC object hit rate (the paper's primary goal).
+type OHRObjective struct{}
+
+// Name implements Objective.
+func (OHRObjective) Name() string { return "ohr" }
+
+// Reward implements Objective.
+func (OHRObjective) Reward(m cache.Metrics) float64 { return m.OHR() }
+
+// RewardFromOHR implements Objective.
+func (OHRObjective) RewardFromOHR(ohr float64, _ SizeProfile, _ cache.Expert) float64 {
+	return ohr
+}
+
+// BMRObjective minimises the HOC byte miss ratio (Figure 6a); the reward is
+// −BMR so that maximisation minimises the ratio.
+type BMRObjective struct{}
+
+// Name implements Objective.
+func (BMRObjective) Name() string { return "bmr" }
+
+// Reward implements Objective.
+func (BMRObjective) Reward(m cache.Metrics) float64 { return -m.BMR() }
+
+// RewardFromOHR implements Objective.
+func (BMRObjective) RewardFromOHR(ohr float64, prof SizeProfile, e cache.Expert) float64 {
+	return -prof.EstimateBMR(ohr, e)
+}
+
+// CombinedObjective maximises OHR − K·(normalised HOC disk-write pressure)
+// (Figure 6b). Following §6.3, disk-write bytes are approximated by the bytes
+// missed in the HOC, normalised by total bytes so both terms live on [0,1]:
+// reward = OHR − K·BMR.
+type CombinedObjective struct {
+	// K weighs the disk-write term; the paper's experiments use a fixed
+	// operator-chosen constant (default 0.5 here).
+	K float64
+}
+
+// Name implements Objective.
+func (c CombinedObjective) Name() string { return fmt.Sprintf("ohr-%.2gxdiskwrite", c.k()) }
+
+func (c CombinedObjective) k() float64 {
+	if c.K <= 0 {
+		return 0.5
+	}
+	return c.K
+}
+
+// Reward implements Objective.
+func (c CombinedObjective) Reward(m cache.Metrics) float64 {
+	return m.OHR() - c.k()*m.BMR()
+}
+
+// RewardFromOHR implements Objective.
+func (c CombinedObjective) RewardFromOHR(ohr float64, prof SizeProfile, e cache.Expert) float64 {
+	return ohr - c.k()*prof.EstimateBMR(ohr, e)
+}
+
+// ObjectiveByName returns a configured objective: "ohr", "bmr", or
+// "combined".
+func ObjectiveByName(name string) (Objective, error) {
+	switch name {
+	case "ohr", "":
+		return OHRObjective{}, nil
+	case "bmr":
+		return BMRObjective{}, nil
+	case "combined":
+		return CombinedObjective{}, nil
+	}
+	return nil, fmt.Errorf("core: unknown objective %q", name)
+}

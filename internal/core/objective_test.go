@@ -1,0 +1,131 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"darwin/internal/cache"
+)
+
+func profileFor(t *testing.T) SizeProfile {
+	t.Helper()
+	// Two buckets spanning [1k, 4k): representative sizes ~1.4k and ~2.8k.
+	return NewSizeProfile([]float64{0.75, 0.25}, 1<<10, 4<<10)
+}
+
+func TestNewSizeProfileSizes(t *testing.T) {
+	p := NewSizeProfile([]float64{0.5, 0.5}, 1<<10, 4<<10)
+	// Log2 range [10,12]; bucket mids 10.5 and 11.5.
+	if math.Abs(p.Sizes[0]-math.Exp2(10.5)) > 1e-9 {
+		t.Fatalf("bucket 0 size = %v", p.Sizes[0])
+	}
+	if math.Abs(p.Sizes[1]-math.Exp2(11.5)) > 1e-9 {
+		t.Fatalf("bucket 1 size = %v", p.Sizes[1])
+	}
+}
+
+func TestMeanSize(t *testing.T) {
+	p := profileFor(t)
+	want := 0.75*p.Sizes[0] + 0.25*p.Sizes[1]
+	if math.Abs(p.MeanSize()-want) > 1e-9 {
+		t.Fatalf("MeanSize = %v, want %v", p.MeanSize(), want)
+	}
+}
+
+func TestMeanSizeBelow(t *testing.T) {
+	p := profileFor(t)
+	// Threshold between the buckets: only bucket 0 counts.
+	th := int64(p.Sizes[0]) + 1
+	want := 0.75 * p.Sizes[0]
+	if got := p.MeanSizeBelow(th); math.Abs(got-want) > 1e-9 {
+		t.Fatalf("MeanSizeBelow = %v, want %v", got, want)
+	}
+	if p.MeanSizeBelow(1) != 0 {
+		t.Fatal("threshold below all buckets should be 0")
+	}
+}
+
+func TestEstimateBMRBounds(t *testing.T) {
+	p := profileFor(t)
+	e := cache.Expert{MaxSize: 1 << 20}
+	if bmr := p.EstimateBMR(0, e); bmr != 1 {
+		t.Fatalf("BMR at OHR=0 should be 1, got %v", bmr)
+	}
+	for _, ohr := range []float64{0, 0.3, 0.7, 1} {
+		bmr := p.EstimateBMR(ohr, e)
+		if bmr < 0 || bmr > 1 {
+			t.Fatalf("BMR(%v) = %v outside [0,1]", ohr, bmr)
+		}
+	}
+	// Higher hit rate → lower BMR.
+	if p.EstimateBMR(0.8, e) >= p.EstimateBMR(0.2, e) {
+		t.Fatal("BMR must decrease with OHR")
+	}
+}
+
+func TestEstimateBMRSizeThresholdMatters(t *testing.T) {
+	p := profileFor(t)
+	small := cache.Expert{MaxSize: int64(p.Sizes[0]) + 1} // only small objects hit
+	large := cache.Expert{MaxSize: 1 << 20}               // everything can hit
+	if p.EstimateBMR(0.5, small) <= p.EstimateBMR(0.5, large) {
+		t.Fatal("same OHR over smaller objects should save fewer bytes (higher BMR)")
+	}
+}
+
+func TestEstimateBMREmptyProfile(t *testing.T) {
+	var p SizeProfile
+	if got := p.EstimateBMR(0.5, cache.Expert{MaxSize: 100}); got != 1 {
+		t.Fatalf("empty profile BMR = %v, want 1", got)
+	}
+}
+
+func TestOHRObjective(t *testing.T) {
+	o := OHRObjective{}
+	m := cache.Metrics{Requests: 10, HOCHits: 3}
+	if o.Reward(m) != 0.3 {
+		t.Fatal("OHR reward wrong")
+	}
+	if o.RewardFromOHR(0.42, SizeProfile{}, cache.Expert{}) != 0.42 {
+		t.Fatal("OHR estimate must pass through")
+	}
+	if o.Name() != "ohr" {
+		t.Fatal("name")
+	}
+}
+
+func TestBMRObjectiveSign(t *testing.T) {
+	o := BMRObjective{}
+	lowBMR := cache.Metrics{Requests: 10, Bytes: 1000, HOCHitBytes: 900}
+	highBMR := cache.Metrics{Requests: 10, Bytes: 1000, HOCHitBytes: 100}
+	if o.Reward(lowBMR) <= o.Reward(highBMR) {
+		t.Fatal("lower BMR must score higher")
+	}
+	p := profileFor(t)
+	if o.RewardFromOHR(0.9, p, cache.Expert{MaxSize: 1 << 20}) <=
+		o.RewardFromOHR(0.1, p, cache.Expert{MaxSize: 1 << 20}) {
+		t.Fatal("estimated reward must increase with OHR")
+	}
+}
+
+func TestCombinedObjective(t *testing.T) {
+	o := CombinedObjective{K: 0.5}
+	m := cache.Metrics{Requests: 10, HOCHits: 4, Bytes: 1000, HOCHitBytes: 600}
+	want := 0.4 - 0.5*0.4
+	if math.Abs(o.Reward(m)-want) > 1e-12 {
+		t.Fatalf("combined reward = %v, want %v", o.Reward(m), want)
+	}
+	if (CombinedObjective{}).k() != 0.5 {
+		t.Fatal("default K should be 0.5")
+	}
+}
+
+func TestObjectiveByName(t *testing.T) {
+	for _, name := range []string{"", "ohr", "bmr", "combined"} {
+		if _, err := ObjectiveByName(name); err != nil {
+			t.Errorf("ObjectiveByName(%q): %v", name, err)
+		}
+	}
+	if _, err := ObjectiveByName("latency"); err == nil {
+		t.Fatal("unknown objective accepted")
+	}
+}

@@ -1,0 +1,393 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"darwin/internal/bandit"
+	"darwin/internal/cache"
+	"darwin/internal/features"
+	"darwin/internal/trace"
+)
+
+// Phase names the online controller's state within an epoch (Figure 3,
+// Step 2).
+type Phase int
+
+// Online phases.
+const (
+	// PhaseWarmup is feature estimation over the first N_warmup requests.
+	PhaseWarmup Phase = iota
+	// PhaseIdentify is bandit best-expert identification over rounds.
+	PhaseIdentify
+	// PhaseExploit deploys the identified expert for the rest of the epoch.
+	PhaseExploit
+)
+
+// String implements fmt.Stringer.
+func (p Phase) String() string {
+	switch p {
+	case PhaseWarmup:
+		return "warmup"
+	case PhaseIdentify:
+		return "identify"
+	case PhaseExploit:
+		return "exploit"
+	}
+	return fmt.Sprintf("Phase(%d)", int(p))
+}
+
+// OnlineConfig parameterises the online selection loop.
+type OnlineConfig struct {
+	// Epoch is N_e, the epoch length in requests.
+	Epoch int
+	// Warmup is N_warmup, the feature-estimation prefix of each epoch.
+	Warmup int
+	// Round is N_round, the requests per bandit round.
+	Round int
+	// Delta is the bandit failure probability δ.
+	Delta float64
+	// StabilityRounds is the practical stop (same best arm this many
+	// consecutive rounds); 0 disables it.
+	StabilityRounds int
+	// MaxRounds caps the identification phase (safety; the epoch budget also
+	// caps it). 0 derives a cap from the epoch length.
+	MaxRounds int
+	// Neff is the effective number of independent reward samples per round,
+	// used to scale the per-request indicator variances σ²_ij down to
+	// round-level sample variances. Consecutive requests are correlated
+	// through the cache state, so Neff ≪ Round (default 50).
+	Neff float64
+	// VarFloor keeps all variances positive (default 1e-4).
+	VarFloor float64
+	// InitialExpert is deployed during the first warm-up; zero value selects
+	// the model's first expert.
+	InitialExpert cache.Expert
+	// UniformBandit switches the bandit to round-robin deployment (ablation).
+	UniformBandit bool
+	// DisableSideInfo replaces cross-expert fictitious samples with standard
+	// bandit feedback (ablation): only the deployed arm's reward is used.
+	DisableSideInfo bool
+}
+
+// DefaultOnlineConfig returns the scaled defaults of DESIGN.md §5:
+// N_e=200k, N_warmup=6k (3%), N_round=1k (0.5%).
+func DefaultOnlineConfig() OnlineConfig {
+	return OnlineConfig{
+		Epoch:           200_000,
+		Warmup:          6_000,
+		Round:           1_000,
+		Delta:           0.05,
+		StabilityRounds: 5,
+		Neff:            50,
+		VarFloor:        1e-4,
+	}
+}
+
+func (c OnlineConfig) validate() error {
+	if c.Epoch <= 0 || c.Warmup <= 0 || c.Round <= 0 {
+		return fmt.Errorf("core: epoch/warmup/round must be positive (%d/%d/%d)", c.Epoch, c.Warmup, c.Round)
+	}
+	if c.Warmup+2*c.Round > c.Epoch {
+		return fmt.Errorf("core: epoch %d too short for warmup %d + 2 rounds of %d", c.Epoch, c.Warmup, c.Round)
+	}
+	if c.Delta <= 0 || c.Delta >= 1 {
+		return fmt.Errorf("core: delta %v outside (0,1)", c.Delta)
+	}
+	return nil
+}
+
+func (c OnlineConfig) withDefaults() OnlineConfig {
+	if c.Neff <= 0 {
+		c.Neff = 50
+	}
+	if c.VarFloor <= 0 {
+		c.VarFloor = 1e-4
+	}
+	if c.MaxRounds <= 0 {
+		c.MaxRounds = (c.Epoch - c.Warmup) / c.Round
+	}
+	return c
+}
+
+// EpochDiag records one epoch's online decisions for the component studies
+// (Figures 5b–5d).
+type EpochDiag struct {
+	// Epoch is the 0-based epoch number.
+	Epoch int
+	// Cluster is the matched cluster.
+	Cluster int
+	// SetSize is the size of the cluster's expert set.
+	SetSize int
+	// Rounds is the number of bandit rounds used (0 when the set was a
+	// singleton).
+	Rounds int
+	// StopReason is the bandit's stop reason ("stability", "threshold",
+	// "max-rounds", "singleton", or "epoch-end").
+	StopReason string
+	// Chosen is the deployed expert after identification.
+	Chosen cache.Expert
+}
+
+// Controller drives Darwin's online phase over a cache hierarchy.
+type Controller struct {
+	model *Model
+	hier  *cache.Hierarchy
+	cfg   OnlineConfig
+
+	phase      Phase
+	epoch      int
+	epochReqs  int
+	extractor  *features.Extractor
+	set        []int
+	alg        *bandit.Algorithm
+	curArm     int
+	roundStart cache.Metrics
+	roundReqs  int
+	extended   []float64
+	prof       SizeProfile
+	clusterID  int
+
+	diags      []EpochDiag
+	learningNS int64
+}
+
+// NewController wires a trained model to a hierarchy.
+func NewController(model *Model, hier *cache.Hierarchy, cfg OnlineConfig) (*Controller, error) {
+	if model == nil || hier == nil {
+		return nil, fmt.Errorf("core: nil model or hierarchy")
+	}
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	cfg = cfg.withDefaults()
+	ex, err := features.NewExtractor(model.FeatureCfg)
+	if err != nil {
+		return nil, err
+	}
+	init := cfg.InitialExpert
+	if init == (cache.Expert{}) {
+		init = model.Experts[0]
+	}
+	hier.SetExpert(init)
+	return &Controller{
+		model:     model,
+		hier:      hier,
+		cfg:       cfg,
+		phase:     PhaseWarmup,
+		extractor: ex,
+	}, nil
+}
+
+// Phase returns the current phase.
+func (c *Controller) Phase() Phase { return c.phase }
+
+// Diags returns per-epoch diagnostics recorded so far (including the current
+// epoch once identification has finished).
+func (c *Controller) Diags() []EpochDiag { return c.diags }
+
+// LearningDuration returns the cumulative wall time spent in learning
+// operations (cluster lookup, Σ construction, bandit solves) — the work §6.4
+// describes as off the request fast path, occurring only at warm-up end and
+// round boundaries.
+func (c *Controller) LearningDuration() time.Duration {
+	return time.Duration(c.learningNS)
+}
+
+// Hierarchy returns the controlled hierarchy.
+func (c *Controller) Hierarchy() *cache.Hierarchy { return c.hier }
+
+// Name implements the baselines.Server naming convention.
+func (c *Controller) Name() string { return "darwin" }
+
+// Metrics returns the hierarchy's accumulated metrics.
+func (c *Controller) Metrics() cache.Metrics { return c.hier.Metrics() }
+
+// ResetMetrics clears the hierarchy's counters (warm-up exclusion).
+func (c *Controller) ResetMetrics() { c.hier.ResetMetrics() }
+
+// Serve processes one request through the cache and advances the controller
+// state machine.
+func (c *Controller) Serve(r trace.Request) cache.Result {
+	res := c.hier.Serve(r)
+	c.epochReqs++
+	switch c.phase {
+	case PhaseWarmup:
+		c.extractor.Observe(r)
+		if c.epochReqs >= c.cfg.Warmup {
+			start := time.Now()
+			c.finishWarmup()
+			c.learningNS += time.Since(start).Nanoseconds()
+		}
+	case PhaseIdentify:
+		c.roundReqs++
+		if c.roundReqs >= c.cfg.Round {
+			start := time.Now()
+			c.finishRound()
+			c.learningNS += time.Since(start).Nanoseconds()
+		}
+	}
+	if c.epochReqs >= c.cfg.Epoch {
+		c.finishEpoch()
+	}
+	return res
+}
+
+// Play serves an entire trace.
+func (c *Controller) Play(tr *trace.Trace) {
+	for _, r := range tr.Requests {
+		c.Serve(r)
+	}
+}
+
+// finishWarmup performs cluster lookup and starts identification.
+func (c *Controller) finishWarmup() {
+	feat := c.extractor.Vector()
+	c.extended = c.extractor.Extended()
+	c.prof = NewSizeProfile(c.extractor.SizeDistribution(), c.model.FeatureCfg.MinSize, c.model.FeatureCfg.MaxSize)
+	c.clusterID, c.set = c.model.Lookup(feat)
+	// The feature tree is deleted after the collection stage (§6.4).
+	c.extractor.Reset()
+
+	if len(c.set) < 2 {
+		chosen := c.model.Experts[c.set[0]]
+		c.hier.SetExpert(chosen)
+		c.phase = PhaseExploit
+		c.diags = append(c.diags, EpochDiag{
+			Epoch: c.epoch, Cluster: c.clusterID, SetSize: len(c.set),
+			StopReason: "singleton", Chosen: chosen,
+		})
+		return
+	}
+
+	sigma2 := c.buildSigma()
+	maxRounds := c.cfg.MaxRounds
+	if budget := (c.cfg.Epoch - c.epochReqs) / c.cfg.Round; budget < maxRounds {
+		maxRounds = budget
+	}
+	alg, err := bandit.New(bandit.Config{
+		Sigma2:          sigma2,
+		Delta:           c.cfg.Delta,
+		M:               1,
+		C:               100,
+		StabilityRounds: c.cfg.StabilityRounds,
+		Uniform:         c.cfg.UniformBandit,
+		MaxRounds:       maxRounds,
+	})
+	if err != nil {
+		// Degenerate side information; fall back to the cluster's best mean
+		// expert for the epoch.
+		best := c.set[0]
+		for _, ei := range c.set {
+			if c.model.MeanReward[c.clusterID][ei] > c.model.MeanReward[c.clusterID][best] {
+				best = ei
+			}
+		}
+		chosen := c.model.Experts[best]
+		c.hier.SetExpert(chosen)
+		c.phase = PhaseExploit
+		c.diags = append(c.diags, EpochDiag{
+			Epoch: c.epoch, Cluster: c.clusterID, SetSize: len(c.set),
+			StopReason: "degenerate-sigma", Chosen: chosen,
+		})
+		return
+	}
+	c.alg = alg
+	c.curArm = alg.NextArm()
+	c.hier.SetExpert(c.model.Experts[c.set[c.curArm]])
+	c.roundStart = c.hier.Metrics()
+	c.roundReqs = 0
+	c.phase = PhaseIdentify
+}
+
+// buildSigma constructs the side-information matrix over the cluster's
+// expert set using the prediction networks and the cluster's prior hit rates
+// (§4.1), scaled to round-level sample variances.
+func (c *Controller) buildSigma() [][]float64 {
+	n := len(c.set)
+	sigma2 := make([][]float64, n)
+	for a := 0; a < n; a++ {
+		sigma2[a] = make([]float64, n)
+		i := c.set[a]
+		prior := c.model.MeanOHR[c.clusterID][i]
+		for b := 0; b < n; b++ {
+			j := c.set[b]
+			if c.cfg.DisableSideInfo && a != b {
+				sigma2[a][b] = math.Inf(1)
+				continue
+			}
+			v, ok := c.model.SideVariance(i, j, prior, c.extended)
+			if !ok && a != b {
+				sigma2[a][b] = math.Inf(1)
+				continue
+			}
+			sigma2[a][b] = v/c.cfg.Neff + c.cfg.VarFloor
+		}
+	}
+	return sigma2
+}
+
+// finishRound closes a bandit round: computes the deployed arm's real reward,
+// generates fictitious samples for the other arms, and advances or stops the
+// bandit.
+func (c *Controller) finishRound() {
+	delta := c.hier.Metrics().Sub(c.roundStart)
+	obsOHR := delta.OHR()
+	obsReward := c.model.Objective.Reward(delta)
+	n := len(c.set)
+	rewards := make([]float64, n)
+	deployed := c.set[c.curArm]
+	for b := 0; b < n; b++ {
+		if b == c.curArm {
+			rewards[b] = obsReward
+			continue
+		}
+		if c.cfg.DisableSideInfo {
+			continue // ignored via +Inf variance
+		}
+		est, ok := c.model.EstimateReward(deployed, c.set[b], obsOHR, c.extended, c.prof)
+		if ok {
+			rewards[b] = est
+		}
+	}
+	if err := c.alg.Update(c.curArm, rewards); err != nil {
+		// Cannot happen with a well-formed controller; deploy best-known.
+		c.deployRecommendation("update-error")
+		return
+	}
+	if c.alg.Stopped() {
+		c.deployRecommendation(c.alg.StopReason())
+		return
+	}
+	c.curArm = c.alg.NextArm()
+	c.hier.SetExpert(c.model.Experts[c.set[c.curArm]])
+	c.roundStart = c.hier.Metrics()
+	c.roundReqs = 0
+}
+
+func (c *Controller) deployRecommendation(reason string) {
+	chosen := c.model.Experts[c.set[c.alg.Recommendation()]]
+	c.hier.SetExpert(chosen)
+	c.phase = PhaseExploit
+	c.diags = append(c.diags, EpochDiag{
+		Epoch: c.epoch, Cluster: c.clusterID, SetSize: len(c.set),
+		Rounds: c.alg.Rounds(), StopReason: reason, Chosen: chosen,
+	})
+}
+
+// finishEpoch rolls over to the next epoch's warm-up, keeping the currently
+// deployed expert in place for the new warm-up phase.
+func (c *Controller) finishEpoch() {
+	if c.phase == PhaseIdentify {
+		// Identification ran out of epoch: deploy the current recommendation
+		// and record the truncated run.
+		c.deployRecommendation("epoch-end")
+	}
+	c.epoch++
+	c.epochReqs = 0
+	c.roundReqs = 0
+	c.alg = nil
+	c.phase = PhaseWarmup
+	c.extractor.Reset()
+}

@@ -1,0 +1,90 @@
+package core
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"darwin/internal/cache"
+)
+
+// SizeProfile-derived quantities stay within physical bounds for arbitrary
+// bucket fractions.
+func TestSizeProfileBoundsQuick(t *testing.T) {
+	f := func(raw [8]uint8, ohrRaw uint8, thRaw uint16) bool {
+		var total float64
+		fr := make([]float64, len(raw))
+		for i, v := range raw {
+			fr[i] = float64(v)
+			total += fr[i]
+		}
+		if total == 0 {
+			fr[0] = 1
+			total = 1
+		}
+		for i := range fr {
+			fr[i] /= total
+		}
+		p := NewSizeProfile(fr, 64, 1<<20)
+		ohr := float64(ohrRaw) / 255
+		e := cache.Expert{MaxSize: int64(thRaw) + 1}
+		bmr := p.EstimateBMR(ohr, e)
+		if bmr < 0 || bmr > 1 || math.IsNaN(bmr) {
+			return false
+		}
+		// Monotone in OHR: a strictly higher hit rate cannot raise BMR.
+		if b2 := p.EstimateBMR(math.Min(1, ohr+0.2), e); b2 > bmr+1e-12 {
+			return false
+		}
+		// MeanSizeBelow never exceeds MeanSize.
+		return p.MeanSizeBelow(e.MaxSize) <= p.MeanSize()+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Objective rewards estimated through RewardFromOHR agree with rewards
+// computed from metrics when the metrics are consistent with the profile's
+// assumptions (pass-through check for the OHR objective, bound checks for
+// the others).
+func TestObjectiveEstimateConsistencyQuick(t *testing.T) {
+	p := NewSizeProfile([]float64{0.5, 0.3, 0.2}, 64, 1<<20)
+	f := func(ohrRaw uint8) bool {
+		ohr := float64(ohrRaw) / 255
+		e := cache.Expert{MaxSize: 1 << 19}
+		if (OHRObjective{}).RewardFromOHR(ohr, p, e) != ohr {
+			return false
+		}
+		b := (BMRObjective{}).RewardFromOHR(ohr, p, e)
+		if b < -1 || b > 0 {
+			return false
+		}
+		c := (CombinedObjective{K: 0.5}).RewardFromOHR(ohr, p, e)
+		return c >= -0.5-1e-9 && c <= 1+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 256}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// withinTheta is reflexive, monotone in θ, and symmetric about the best.
+func TestWithinThetaQuick(t *testing.T) {
+	f := func(vRaw, bRaw int16, thRaw uint8) bool {
+		v, best := float64(vRaw)/1000, float64(bRaw)/1000
+		if v > best {
+			v, best = best, v
+		}
+		theta := float64(thRaw%50) + 1
+		if !withinTheta(best, best, theta) {
+			return false // the best is always within θ of itself
+		}
+		if withinTheta(v, best, theta) && !withinTheta(v, best, theta*2) {
+			return false // larger θ can only admit more
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}

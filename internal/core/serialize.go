@@ -1,0 +1,118 @@
+package core
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"darwin/internal/cache"
+	"darwin/internal/cluster"
+	"darwin/internal/features"
+	"darwin/internal/neural"
+)
+
+// modelJSON is the on-disk form of a trained Model. The objective is encoded
+// by name (+ parameters) because Objective is an interface.
+type modelJSON struct {
+	Version         int             `json:"version"`
+	Experts         []cache.Expert  `json:"experts"`
+	FeatureCfg      features.Config `json:"feature_cfg"`
+	Objective       string          `json:"objective"`
+	CombinedK       float64         `json:"combined_k,omitempty"`
+	Clusters        *cluster.Model  `json:"clusters"`
+	ExpertSets      [][]int         `json:"expert_sets"`
+	MeanReward      [][]float64     `json:"mean_reward"`
+	MeanOHR         [][]float64     `json:"mean_ohr"`
+	Predictors      [][]*neural.Net `json:"predictors"`
+	ScalerMean      []float64       `json:"scaler_mean"`
+	ScalerStd       []float64       `json:"scaler_std"`
+	PredictorInputs int             `json:"predictor_inputs"`
+	FeatureWindow   int             `json:"feature_window"`
+}
+
+const modelVersion = 1
+
+// WriteModel serialises a trained model as JSON.
+func WriteModel(w io.Writer, m *Model) error {
+	mj := modelJSON{
+		Version:         modelVersion,
+		Experts:         m.Experts,
+		FeatureCfg:      m.FeatureCfg,
+		Objective:       m.Objective.Name(),
+		Clusters:        m.Clusters,
+		ExpertSets:      m.ExpertSets,
+		MeanReward:      m.MeanReward,
+		MeanOHR:         m.MeanOHR,
+		Predictors:      m.Predictors,
+		ScalerMean:      m.ScalerMean,
+		ScalerStd:       m.ScalerStd,
+		PredictorInputs: m.PredictorInputs,
+		FeatureWindow:   m.FeatureWindow,
+	}
+	switch obj := m.Objective.(type) {
+	case OHRObjective:
+		mj.Objective = "ohr"
+	case BMRObjective:
+		mj.Objective = "bmr"
+	case CombinedObjective:
+		mj.Objective = "combined"
+		mj.CombinedK = obj.K
+	default:
+		return fmt.Errorf("core: objective %q is not serialisable", m.Objective.Name())
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(mj)
+}
+
+// ReadModel restores a model written by WriteModel.
+func ReadModel(r io.Reader) (*Model, error) {
+	var mj modelJSON
+	if err := json.NewDecoder(r).Decode(&mj); err != nil {
+		return nil, fmt.Errorf("core: decoding model: %w", err)
+	}
+	if mj.Version != modelVersion {
+		return nil, fmt.Errorf("core: model version %d, want %d", mj.Version, modelVersion)
+	}
+	if len(mj.Experts) == 0 || mj.Clusters == nil {
+		return nil, fmt.Errorf("core: model missing experts or clustering")
+	}
+	var obj Objective
+	switch mj.Objective {
+	case "ohr":
+		obj = OHRObjective{}
+	case "bmr":
+		obj = BMRObjective{}
+	case "combined":
+		obj = CombinedObjective{K: mj.CombinedK}
+	default:
+		return nil, fmt.Errorf("core: unknown objective %q", mj.Objective)
+	}
+	k := len(mj.Experts)
+	if len(mj.ExpertSets) != mj.Clusters.K() || len(mj.MeanReward) != mj.Clusters.K() || len(mj.MeanOHR) != mj.Clusters.K() {
+		return nil, fmt.Errorf("core: per-cluster slices do not match %d clusters", mj.Clusters.K())
+	}
+	for c, set := range mj.ExpertSets {
+		for _, ei := range set {
+			if ei < 0 || ei >= k {
+				return nil, fmt.Errorf("core: cluster %d references expert %d of %d", c, ei, k)
+			}
+		}
+	}
+	if len(mj.Predictors) != k {
+		return nil, fmt.Errorf("core: predictor matrix is %dx?, want %dx%d", len(mj.Predictors), k, k)
+	}
+	return &Model{
+		Experts:         mj.Experts,
+		FeatureCfg:      mj.FeatureCfg,
+		Objective:       obj,
+		Clusters:        mj.Clusters,
+		ExpertSets:      mj.ExpertSets,
+		MeanReward:      mj.MeanReward,
+		MeanOHR:         mj.MeanOHR,
+		Predictors:      mj.Predictors,
+		ScalerMean:      mj.ScalerMean,
+		ScalerStd:       mj.ScalerStd,
+		PredictorInputs: mj.PredictorInputs,
+		FeatureWindow:   mj.FeatureWindow,
+	}, nil
+}

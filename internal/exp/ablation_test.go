@@ -1,0 +1,177 @@
+package exp
+
+import (
+	"strings"
+	"testing"
+
+	"darwin/internal/cache"
+)
+
+// cacheGrid3 returns a small three-knob expert grid for the extension test.
+func cacheGrid3() []cache.Expert {
+	return cache.Grid3([]int{1, 3}, []int64{10 << 10, 200 << 10}, []int64{2000, 20000})
+}
+
+func TestFig6ObjectiveBMR(t *testing.T) {
+	rep, err := Fig6Objective(tiny(), "bmr", "fig6a test")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Rows) != len(tiny().Experts) {
+		t.Fatalf("rows = %d", len(rep.Rows))
+	}
+	if !strings.Contains(rep.Notes[0], "bmr") {
+		t.Fatalf("note = %v", rep.Notes)
+	}
+}
+
+func TestFig6ObjectiveCombined(t *testing.T) {
+	rep, err := Fig6Objective(tiny(), "combined", "fig6b test")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Rows) == 0 {
+		t.Fatal("no rows")
+	}
+}
+
+func TestFig6ObjectiveUnknown(t *testing.T) {
+	if _, err := Fig6Objective(tiny(), "latency", "x"); err == nil {
+		t.Fatal("unknown objective accepted")
+	}
+}
+
+func TestAblationStoppingRuns(t *testing.T) {
+	rep, err := AblationStopping(tiny())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Rows) != 2 {
+		t.Fatalf("rows = %d", len(rep.Rows))
+	}
+}
+
+func TestAblationRoundLength(t *testing.T) {
+	sc := tiny()
+	rep, err := AblationRoundLength(sc, []int{200, 400, 1 << 30})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The absurd round length must be skipped (doesn't fit the epoch).
+	if len(rep.Rows) != 2 {
+		t.Fatalf("rows = %d, want 2 (oversized N_round skipped)", len(rep.Rows))
+	}
+}
+
+func TestAblationPredictorFeatures(t *testing.T) {
+	c := tinyCorpus(t)
+	rep, err := AblationPredictorFeatures(tiny(), c.Dataset.Records)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Rows) != 2 {
+		t.Fatalf("rows = %d", len(rep.Rows))
+	}
+	// nil test records default to the training records.
+	rep2, err := AblationPredictorFeatures(tiny(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep2.Rows) != 2 {
+		t.Fatal("nil records variant failed")
+	}
+}
+
+func TestFig11ThreeKnob(t *testing.T) {
+	sc := tiny()
+	sc.TrainSeeds = 1 // keep the 3-knob dataset build fast
+	rep, err := Fig11ThreeKnob(sc, []float64{1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Rows) != 1 {
+		t.Fatalf("rows = %d", len(rep.Rows))
+	}
+}
+
+func TestScaledCorpus(t *testing.T) {
+	c, err := ScaledCorpus(tiny(), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := tinyCorpus(t)
+	if c.Scale.Eval.HOCBytes != 2*base.Scale.Eval.HOCBytes {
+		t.Fatal("cache not scaled")
+	}
+	if len(c.Test) != len(base.Test) {
+		t.Fatal("test set size changed")
+	}
+	// Object sizes roughly doubled.
+	s0 := base.Test[0].Summarize()
+	s1 := c.Test[0].Summarize()
+	ratio := s1.MeanSize / s0.MeanSize
+	if ratio < 1.7 || ratio > 2.3 {
+		t.Fatalf("mean size ratio %.2f, want ~2 (±20%% perturbation)", ratio)
+	}
+}
+
+func TestHindsightTrace(t *testing.T) {
+	sc := tiny()
+	tr, err := SyntheticMix(50, 4000, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ms, err := HindsightTrace(tr, sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ms) != len(sc.Experts) {
+		t.Fatalf("metrics = %d", len(ms))
+	}
+}
+
+func TestFig4aIncludesBeladyNote(t *testing.T) {
+	c := tinyCorpus(t)
+	rep, _, _, err := Fig4Compare(c, "belady note test")
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, n := range rep.Notes {
+		if strings.Contains(n, "Belady") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("no Belady note: %v", rep.Notes)
+	}
+}
+
+// TestThreeKnobEndToEnd exercises the paper's claim that Darwin "can be
+// trivially extended to include other knobs" (§4): the full offline+online
+// pipeline runs unchanged over three-knob (f, s, recency) experts.
+func TestThreeKnobEndToEnd(t *testing.T) {
+	sc := tiny()
+	sc.Experts = cacheGrid3()
+	c, err := CachedCorpus(sc, "ohr")
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, diags, err := RunDarwin(c, c.Test[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Requests == 0 || len(diags) == 0 {
+		t.Fatal("three-knob pipeline produced nothing")
+	}
+	chosen := diags[len(diags)-1].Chosen
+	found := false
+	for _, e := range sc.Experts {
+		if e == chosen {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("chosen expert %v not from the three-knob grid", chosen)
+	}
+}

@@ -1,0 +1,257 @@
+package exp
+
+import (
+	"strconv"
+
+	"darwin/internal/core"
+	"darwin/internal/stats"
+)
+
+// Fig6Objective reproduces Figures 6a and 6b: Darwin retrained for a
+// different objective ("bmr" or "combined") against the static expert grid
+// on the ensemble set. The report shows the objective value per scheme and
+// Darwin's improvement range.
+func Fig6Objective(sc Scale, objective string, title string) (*Report, error) {
+	c, err := CachedCorpus(sc, objective)
+	if err != nil {
+		return nil, err
+	}
+	obj := c.Model.Objective
+	ensemble, err := EnsembleSet(c)
+	if err != nil {
+		return nil, err
+	}
+
+	// Darwin under the retrained objective.
+	var darwinVals []float64
+	for _, tr := range ensemble {
+		m, _, err := RunDarwin(c, tr)
+		if err != nil {
+			return nil, err
+		}
+		darwinVals = append(darwinVals, obj.Reward(m))
+	}
+
+	rep := &Report{
+		Title:  title,
+		Header: []string{"scheme", "mean objective", "min impr%", "median impr%", "max impr%"},
+	}
+	for ei, e := range sc.Experts {
+		var vals []float64
+		for _, tr := range ensemble {
+			ms, err := Hindsight(c, tr)
+			if err != nil {
+				return nil, err
+			}
+			vals = append(vals, obj.Reward(ms[ei]))
+		}
+		imps := objImprovements(darwinVals, vals)
+		rep.AddRow(e.String(), f4(stats.Mean(vals)),
+			f2(minOf(imps)), f2(stats.Percentile(imps, 50)), f2(maxOf(imps)))
+	}
+	rep.AddNote("darwin mean objective %.4f (%s) over %d traces",
+		stats.Mean(darwinVals), obj.Name(), len(ensemble))
+	return rep, nil
+}
+
+// objImprovements computes percentage improvements for objectives that may
+// be negative (e.g. −BMR): improvement is measured on the magnitude of the
+// baseline value.
+func objImprovements(darwin, baseline []float64) []float64 {
+	out := make([]float64, len(darwin))
+	for i := range darwin {
+		den := baseline[i]
+		if den < 0 {
+			den = -den
+		}
+		if den == 0 {
+			out[i] = 0
+			continue
+		}
+		out[i] = (darwin[i] - baseline[i]) / den * 100
+	}
+	return out
+}
+
+// AblationSideInfo compares Darwin's identification speed and quality with
+// side information enabled vs. classical bandit feedback (DESIGN.md §4.1):
+// the ablation the theory (Theorem 2) predicts.
+func AblationSideInfo(sc Scale) (*Report, error) {
+	c, err := CachedCorpus(sc, "ohr")
+	if err != nil {
+		return nil, err
+	}
+	ensemble, err := EnsembleSet(c)
+	if err != nil {
+		return nil, err
+	}
+	rep := &Report{
+		Title:  "Ablation: side information vs standard bandit feedback",
+		Header: []string{"variant", "mean OHR", "mean rounds"},
+	}
+	for _, variant := range []struct {
+		name    string
+		disable bool
+	}{{"with side info", false}, {"standard feedback", true}} {
+		scv := sc
+		scv.Online.DisableSideInfo = variant.disable
+		cv := &Corpus{Scale: scv, Train: c.Train, Test: c.Test, Dataset: c.Dataset, Model: c.Model}
+		var ohrs, rounds []float64
+		for _, tr := range ensemble {
+			m, diags, err := RunDarwin(cv, tr)
+			if err != nil {
+				return nil, err
+			}
+			ohrs = append(ohrs, m.OHR())
+			for _, d := range diags {
+				if d.SetSize >= 2 {
+					rounds = append(rounds, float64(d.Rounds))
+				}
+			}
+		}
+		mr := 0.0
+		if len(rounds) > 0 {
+			mr = stats.Mean(rounds)
+		}
+		rep.AddRow(variant.name, f4(stats.Mean(ohrs)), f2(mr))
+	}
+	rep.AddNote("Theorem 2: side-information rounds do not scale with K; standard feedback scales linearly")
+	return rep, nil
+}
+
+// AblationStopping compares the practical stability stop against the
+// Theorem-1 threshold-only stop.
+func AblationStopping(sc Scale) (*Report, error) {
+	c, err := CachedCorpus(sc, "ohr")
+	if err != nil {
+		return nil, err
+	}
+	ensemble, err := EnsembleSet(c)
+	if err != nil {
+		return nil, err
+	}
+	rep := &Report{
+		Title:  "Ablation: stability stop vs threshold-only stop",
+		Header: []string{"variant", "mean OHR", "mean rounds"},
+	}
+	for _, variant := range []struct {
+		name      string
+		stability int
+	}{{"stability-5", 5}, {"threshold-only", 0}} {
+		scv := sc
+		scv.Online.StabilityRounds = variant.stability
+		cv := &Corpus{Scale: scv, Train: c.Train, Test: c.Test, Dataset: c.Dataset, Model: c.Model}
+		var ohrs, rounds []float64
+		for _, tr := range ensemble {
+			m, diags, err := RunDarwin(cv, tr)
+			if err != nil {
+				return nil, err
+			}
+			ohrs = append(ohrs, m.OHR())
+			for _, d := range diags {
+				if d.SetSize >= 2 {
+					rounds = append(rounds, float64(d.Rounds))
+				}
+			}
+		}
+		mr := 0.0
+		if len(rounds) > 0 {
+			mr = stats.Mean(rounds)
+		}
+		rep.AddRow(variant.name, f4(stats.Mean(ohrs)), f2(mr))
+	}
+	return rep, nil
+}
+
+// AblationRoundLength sweeps N_round, the de-correlation knob of §4.2.
+func AblationRoundLength(sc Scale, lengths []int) (*Report, error) {
+	c, err := CachedCorpus(sc, "ohr")
+	if err != nil {
+		return nil, err
+	}
+	ensemble, err := EnsembleSet(c)
+	if err != nil {
+		return nil, err
+	}
+	rep := &Report{
+		Title:  "Ablation: bandit round length N_round",
+		Header: []string{"N_round", "mean OHR"},
+	}
+	for _, n := range lengths {
+		scv := sc
+		scv.Online.Round = n
+		if scv.Online.Warmup+2*n > scv.Online.Epoch {
+			continue
+		}
+		cv := &Corpus{Scale: scv, Train: c.Train, Test: c.Test, Dataset: c.Dataset, Model: c.Model}
+		var ohrs []float64
+		for _, tr := range ensemble {
+			m, _, err := RunDarwin(cv, tr)
+			if err != nil {
+				return nil, err
+			}
+			ohrs = append(ohrs, m.OHR())
+		}
+		rep.AddRow(intStr(n), f4(stats.Mean(ohrs)))
+	}
+	return rep, nil
+}
+
+func intStr(n int) string { return strconv.Itoa(n) }
+
+// AblationPredictorFeatures reproduces the §4.1 feature claim: cross-expert
+// predictors trained with the bucketised size distribution appended to the
+// base features vs. base features only, compared by mean order-prediction
+// accuracy (1% proximity) on the given records.
+func AblationPredictorFeatures(sc Scale, test []*core.TraceRecord) (*Report, error) {
+	c, err := CachedCorpus(sc, "ohr")
+	if err != nil {
+		return nil, err
+	}
+	if test == nil {
+		test = c.Dataset.Records
+	}
+	rep := &Report{
+		Title:  "Ablation: predictor features with vs without size distribution",
+		Header: []string{"features", "mean order acc (1% prox)"},
+	}
+	for _, variant := range []struct {
+		name string
+		noSD bool
+	}{{"base + size distribution", false}, {"base only", true}} {
+		m, err := core.Train(c.Dataset, core.TrainConfig{
+			NumClusters:        sc.NumClusters,
+			ThetaPct:           sc.ThetaPct,
+			Seed:               sc.Seed,
+			NoSizeDistribution: variant.noSD,
+		})
+		if err != nil {
+			return nil, err
+		}
+		acc, err := meanOrderAccuracy(m, test, 1)
+		if err != nil {
+			return nil, err
+		}
+		rep.AddRow(variant.name, f4(acc))
+	}
+	rep.AddNote("paper (§4.1) claims the size distribution sharpens estimates; with few training traces the extra inputs can overfit instead")
+	return rep, nil
+}
+
+// meanOrderAccuracy averages order-prediction accuracy over all trained
+// pairs at the given proximity (percent).
+func meanOrderAccuracy(m *core.Model, test []*core.TraceRecord, proximity float64) (float64, error) {
+	rep, err := Fig5cPredictorAccuracy(m, test, []float64{proximity})
+	if err != nil {
+		return 0, err
+	}
+	if len(rep.Rows) == 0 {
+		return 0, nil
+	}
+	return parseFloat(rep.Rows[0][1]), nil
+}
+
+func parseFloat(s string) float64 {
+	v, _ := strconv.ParseFloat(s, 64)
+	return v
+}

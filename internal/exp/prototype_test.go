@@ -1,0 +1,113 @@
+package exp
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func fastPrototype() PrototypeConfig {
+	return PrototypeConfig{
+		OriginLatency:    500 * time.Microsecond,
+		DCLatency:        100 * time.Microsecond,
+		Concurrency:      4,
+		ConcurrencySweep: []int{1, 8},
+		TraceLen:         1200,
+	}
+}
+
+func TestPrototypeTraceConcatenation(t *testing.T) {
+	c := tinyCorpus(t)
+	tr, err := PrototypeTrace(c, 2000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Len() != 2000 {
+		t.Fatalf("len = %d", tr.Len())
+	}
+	for i := 1; i < tr.Len(); i++ {
+		if tr.Requests[i].Time < tr.Requests[i-1].Time {
+			t.Fatal("timestamps not monotone across segments")
+		}
+	}
+}
+
+func TestFig4cPrototype(t *testing.T) {
+	c := tinyCorpus(t)
+	pc := fastPrototype()
+	tr, err := PrototypeTrace(c, pc.TraceLen)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := Fig4cPrototypeOHR(c, pc, tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Rows) != 4 { // darwin + three static picks
+		t.Fatalf("rows = %d", len(rep.Rows))
+	}
+	if rep.Rows[0][0] != "darwin" {
+		t.Fatalf("first row = %v", rep.Rows[0])
+	}
+	for _, row := range rep.Rows {
+		if row[3] != "0" {
+			t.Fatalf("errors in prototype run: %v", row)
+		}
+	}
+}
+
+func TestFig7aLatency(t *testing.T) {
+	c := tinyCorpus(t)
+	pc := fastPrototype()
+	tr, err := PrototypeTrace(c, pc.TraceLen)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := Fig7aLatency(c, pc, tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Rows) != 2 {
+		t.Fatalf("rows = %d", len(rep.Rows))
+	}
+	if !strings.Contains(rep.Title, "latency") {
+		t.Fatal("title wrong")
+	}
+}
+
+func TestFig7bThroughput(t *testing.T) {
+	c := tinyCorpus(t)
+	pc := fastPrototype()
+	tr, err := PrototypeTrace(c, pc.TraceLen)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := Fig7bThroughput(c, pc, tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Rows) != len(pc.ConcurrencySweep) {
+		t.Fatalf("rows = %d", len(rep.Rows))
+	}
+}
+
+func TestOverheadReport(t *testing.T) {
+	c := tinyCorpus(t)
+	rep, err := OverheadReport(c, c.Test[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Rows) < 8 {
+		t.Fatalf("rows = %d", len(rep.Rows))
+	}
+}
+
+func TestAblationSideInfoRuns(t *testing.T) {
+	rep, err := AblationSideInfo(tiny())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Rows) != 2 {
+		t.Fatalf("rows = %d", len(rep.Rows))
+	}
+}

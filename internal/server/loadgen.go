@@ -1,0 +1,139 @@
+package server
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"sync"
+	"time"
+
+	"darwin/internal/trace"
+)
+
+// LoadResult aggregates a load-generation run (§6.4's measurements).
+type LoadResult struct {
+	// Requests completed successfully.
+	Requests int
+	// Errors counts failed requests.
+	Errors int
+	// Bytes is the total payload bytes received.
+	Bytes int64
+	// Wall is the end-to-end run duration.
+	Wall time.Duration
+	// FirstByte holds per-request first-byte latencies.
+	FirstByte []time.Duration
+	// HOCHits/DCHits/Misses are derived from the X-Cache response header.
+	HOCHits, DCHits, Misses int
+}
+
+// ThroughputBps returns the application throughput in bits per second.
+func (r LoadResult) ThroughputBps() float64 {
+	if r.Wall <= 0 {
+		return 0
+	}
+	return float64(r.Bytes) * 8 / r.Wall.Seconds()
+}
+
+// LatencyPercentile returns the p-th percentile first-byte latency.
+func (r LoadResult) LatencyPercentile(p float64) time.Duration {
+	if len(r.FirstByte) == 0 {
+		return 0
+	}
+	sorted := append([]time.Duration(nil), r.FirstByte...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	idx := int(p / 100 * float64(len(sorted)-1))
+	return sorted[idx]
+}
+
+// LoadConfig configures RunLoad.
+type LoadConfig struct {
+	// ProxyURL is the CDN proxy base URL.
+	ProxyURL string
+	// Concurrency is the number of closed-loop client workers.
+	Concurrency int
+	// ClientLatency is an injected client→proxy delay added to each request
+	// (the paper injects 10 ms; tests use 0).
+	ClientLatency time.Duration
+}
+
+// RunLoad replays tr against a proxy with the configured concurrency,
+// measuring first-byte latency per request.
+func RunLoad(tr *trace.Trace, cfg LoadConfig) (LoadResult, error) {
+	if cfg.Concurrency <= 0 {
+		return LoadResult{}, fmt.Errorf("server: concurrency must be > 0")
+	}
+	if tr.Len() == 0 {
+		return LoadResult{}, fmt.Errorf("server: empty trace")
+	}
+	transport := &http.Transport{
+		MaxIdleConns:        cfg.Concurrency * 2,
+		MaxIdleConnsPerHost: cfg.Concurrency * 2,
+	}
+	client := &http.Client{Transport: transport, Timeout: 60 * time.Second}
+	defer transport.CloseIdleConnections()
+
+	work := make(chan trace.Request)
+	var (
+		mu  sync.Mutex
+		res LoadResult
+		wg  sync.WaitGroup
+	)
+	worker := func() {
+		defer wg.Done()
+		buf := make([]byte, 32<<10)
+		for r := range work {
+			if cfg.ClientLatency > 0 {
+				time.Sleep(cfg.ClientLatency)
+			}
+			url := fmt.Sprintf("%s/obj/%d?size=%d", cfg.ProxyURL, r.ID, r.Size)
+			start := time.Now()
+			resp, err := client.Get(url)
+			if err != nil {
+				mu.Lock()
+				res.Errors++
+				mu.Unlock()
+				continue
+			}
+			// First byte: the response headers plus the first body read.
+			var n int64
+			m, rerr := resp.Body.Read(buf)
+			fb := time.Since(start)
+			n += int64(m)
+			for rerr == nil {
+				m, rerr = resp.Body.Read(buf)
+				n += int64(m)
+			}
+			resp.Body.Close()
+			mu.Lock()
+			if rerr != nil && rerr != io.EOF {
+				res.Errors++
+			} else {
+				res.Requests++
+				res.Bytes += n
+				res.FirstByte = append(res.FirstByte, fb)
+				switch resp.Header.Get("X-Cache") {
+				case "hoc-hit":
+					res.HOCHits++
+				case "dc-hit":
+					res.DCHits++
+				case "miss":
+					res.Misses++
+				}
+			}
+			mu.Unlock()
+		}
+	}
+	begin := time.Now()
+	wg.Add(cfg.Concurrency)
+	for i := 0; i < cfg.Concurrency; i++ {
+		go worker()
+	}
+	for _, r := range tr.Requests {
+		work <- r
+	}
+	close(work)
+	wg.Wait()
+	res.Wall = time.Since(begin)
+	return res, nil
+}

@@ -1,0 +1,193 @@
+// Package server is the reproduction's ATS-like prototype (§5): an HTTP
+// caching proxy whose Hot Object Cache admission is driven by a pluggable
+// decider (a static expert, any baseline, or Darwin's online controller), an
+// origin server with injected WAN latency, and a closed-loop load generator
+// measuring first-byte latency and application throughput (§6.4).
+//
+// The request path mirrors the paper's testbed shape: an HOC hit is served
+// straight from memory; a DC hit pays a configurable disk-access latency; a
+// miss pays a round trip to the origin, which itself delays each response by
+// the injected origin RTT. Cache state is guarded by a single mutex — the
+// same HOC lock contention the paper observes at high concurrency.
+package server
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"sync"
+	"time"
+
+	"darwin/internal/cache"
+	"darwin/internal/trace"
+)
+
+// pattern is the repeated content block served for every object.
+var pattern = func() []byte {
+	b := make([]byte, 64<<10)
+	for i := range b {
+		b[i] = byte('a' + i%26)
+	}
+	return b
+}()
+
+// writeBody writes size bytes of deterministic content to w.
+func writeBody(w io.Writer, size int64) error {
+	for size > 0 {
+		n := int64(len(pattern))
+		if size < n {
+			n = size
+		}
+		if _, err := w.Write(pattern[:n]); err != nil {
+			return err
+		}
+		size -= n
+	}
+	return nil
+}
+
+// Origin is the content provider's origin server: it serves any object of
+// any requested size after an injected WAN delay.
+type Origin struct {
+	// Latency is the injected delay per request (the paper injects 100 ms
+	// between proxy and origin; tests use smaller values).
+	Latency time.Duration
+	// requests counts served requests (midgress accounting).
+	requests int64
+	bytes    int64
+	mu       sync.Mutex
+}
+
+// ServeHTTP implements http.Handler for GET /obj/<id>?size=<bytes>.
+func (o *Origin) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	_, size, err := parseObjectURL(r)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	time.Sleep(o.Latency)
+	o.mu.Lock()
+	o.requests++
+	o.bytes += size
+	o.mu.Unlock()
+	w.Header().Set("Content-Length", strconv.FormatInt(size, 10))
+	w.WriteHeader(http.StatusOK)
+	writeBody(w, size)
+}
+
+// Stats returns the origin's served request and byte counts (midgress).
+func (o *Origin) Stats() (requests, bytes int64) {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	return o.requests, o.bytes
+}
+
+// parseObjectURL extracts (id, size) from /obj/<id>?size=<n>.
+func parseObjectURL(r *http.Request) (uint64, int64, error) {
+	const prefix = "/obj/"
+	path := r.URL.Path
+	if len(path) <= len(prefix) || path[:len(prefix)] != prefix {
+		return 0, 0, fmt.Errorf("server: bad path %q", path)
+	}
+	id, err := strconv.ParseUint(path[len(prefix):], 10, 64)
+	if err != nil {
+		return 0, 0, fmt.Errorf("server: bad object id: %v", err)
+	}
+	size, err := strconv.ParseInt(r.URL.Query().Get("size"), 10, 64)
+	if err != nil || size < 0 {
+		return 0, 0, fmt.Errorf("server: bad size %q", r.URL.Query().Get("size"))
+	}
+	return id, size, nil
+}
+
+// Decider is the cache-management brain plugged into the proxy: a static
+// expert, a learned baseline, or Darwin's online controller.
+type Decider interface {
+	// Serve accounts one request and decides where it is served from.
+	Serve(r trace.Request) cache.Result
+	// Metrics exposes accumulated cache metrics.
+	Metrics() cache.Metrics
+	// Name labels the scheme.
+	Name() string
+}
+
+// Proxy is the CDN edge server.
+type Proxy struct {
+	// Decider drives HOC/DC decisions; guarded by mu.
+	decider Decider
+	mu      sync.Mutex
+
+	// OriginURL is the origin base URL (e.g. http://127.0.0.1:9000).
+	OriginURL string
+	// DCLatency is the injected disk-read delay for DC hits.
+	DCLatency time.Duration
+	// Client issues origin fetches.
+	Client *http.Client
+
+	start time.Time
+}
+
+// NewProxy builds a proxy around a decider.
+func NewProxy(decider Decider, originURL string, dcLatency time.Duration) *Proxy {
+	return &Proxy{
+		decider:   decider,
+		OriginURL: originURL,
+		DCLatency: dcLatency,
+		Client:    &http.Client{Timeout: 30 * time.Second},
+		start:     time.Now(),
+	}
+}
+
+// Metrics returns the decider's cache metrics (thread-safe).
+func (p *Proxy) Metrics() cache.Metrics {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.decider.Metrics()
+}
+
+// ServeHTTP implements http.Handler for GET /obj/<id>?size=<n>.
+func (p *Proxy) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	id, size, err := parseObjectURL(r)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	req := trace.Request{ID: id, Size: size, Time: time.Since(p.start).Microseconds()}
+	p.mu.Lock()
+	res := p.decider.Serve(req)
+	p.mu.Unlock()
+
+	w.Header().Set("X-Cache", res.String())
+	w.Header().Set("Content-Length", strconv.FormatInt(size, 10))
+	switch res {
+	case cache.HOCHit:
+		// In-memory: no artificial delay.
+	case cache.DCHit:
+		time.Sleep(p.DCLatency)
+	case cache.Miss:
+		if err := p.fetchOrigin(w, id, size); err != nil {
+			http.Error(w, err.Error(), http.StatusBadGateway)
+			return
+		}
+		return
+	}
+	w.WriteHeader(http.StatusOK)
+	writeBody(w, size)
+}
+
+// fetchOrigin streams the object from the origin to the client.
+func (p *Proxy) fetchOrigin(w http.ResponseWriter, id uint64, size int64) error {
+	url := fmt.Sprintf("%s/obj/%d?size=%d", p.OriginURL, id, size)
+	resp, err := p.Client.Get(url)
+	if err != nil {
+		return fmt.Errorf("server: origin fetch: %w", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("server: origin status %d", resp.StatusCode)
+	}
+	w.WriteHeader(http.StatusOK)
+	_, err = io.Copy(w, resp.Body)
+	return err
+}

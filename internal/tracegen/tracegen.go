@@ -1,0 +1,351 @@
+// Package tracegen synthesises CDN request traces in the style of Tragen
+// (Sabnis & Sitaraman, IMC'21), the generator the Darwin paper uses to build
+// its offline training and online test sets. A traffic class is modelled by a
+// Zipf popularity distribution over a fixed object catalog, a log-normal
+// object-size distribution, and a Poisson arrival process; mixed traces
+// interleave two or more classes at a configurable request-rate ratio,
+// mirroring the paper's 100 Image:Download mix configurations (§6).
+//
+// The generator is fully deterministic for a given seed.
+package tracegen
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"darwin/internal/trace"
+)
+
+// Class describes one traffic class (e.g. Image, Download).
+type Class struct {
+	// Name labels the class in trace names and reports.
+	Name string
+	// Objects is the catalog size (number of distinct objects).
+	Objects int
+	// ZipfS and ZipfV parameterise the popularity distribution
+	// P(rank k) ∝ (ZipfV + k)^(-ZipfS); ZipfS must be > 1, ZipfV >= 1.
+	ZipfS, ZipfV float64
+	// MeanLogSize and SigmaLogSize parameterise the log-normal object size
+	// distribution (of the natural log of the size in bytes).
+	MeanLogSize, SigmaLogSize float64
+	// MinSize and MaxSize clamp object sizes in bytes.
+	MinSize, MaxSize int64
+	// RatePerSec is the class request rate used when mixing classes and for
+	// Poisson arrival timestamps.
+	RatePerSec float64
+	// ChurnRate is the expected number of popularity-rank swaps per request
+	// (0 = stationary popularity). Production CDN popularity is
+	// non-stationary — content ages and new content becomes hot — and this
+	// knob slowly migrates the Zipf ranks across the catalog to model it.
+	ChurnRate float64
+}
+
+// Validate reports whether the class parameters are usable.
+func (c Class) Validate() error {
+	switch {
+	case c.Objects <= 0:
+		return fmt.Errorf("tracegen: class %s: Objects must be > 0", c.Name)
+	case c.ZipfS <= 1:
+		return fmt.Errorf("tracegen: class %s: ZipfS must be > 1", c.Name)
+	case c.ZipfV < 1:
+		return fmt.Errorf("tracegen: class %s: ZipfV must be >= 1", c.Name)
+	case c.MinSize < 1 || c.MaxSize < c.MinSize:
+		return fmt.Errorf("tracegen: class %s: bad size bounds [%d,%d]", c.Name, c.MinSize, c.MaxSize)
+	case c.RatePerSec <= 0:
+		return fmt.Errorf("tracegen: class %s: RatePerSec must be > 0", c.Name)
+	}
+	return nil
+}
+
+// The predefined classes are scaled ~10x down from the paper's production
+// numbers (DESIGN.md §5) so that the default 2 MB HOC plays the role of the
+// paper's 100 MB HOC.
+
+// Image returns a class modelled on the paper's Image traffic: a large
+// catalog of small objects with many one-/two-hit wonders ("many requests for
+// infrequently accessed objects and 71.9% of the requests are for objects
+// whose sizes are smaller than 20KB", §3.1 — scaled here to ~2 KB).
+func Image() Class {
+	return Class{
+		Name:         "image",
+		Objects:      60000,
+		ZipfS:        1.25,
+		ZipfV:        10,
+		MeanLogSize:  math.Log(900), // median ~0.9 KB
+		SigmaLogSize: 0.9,
+		MinSize:      64,
+		MaxSize:      64 << 10,
+		RatePerSec:   160,
+	}
+}
+
+// Download returns a class modelled on the paper's Download traffic: a small
+// catalog of popular, large objects ("objects all have more than 7 requests
+// ... only 21.5% of the requests are for objects below 50KB", §3.1 — scaled
+// to ~5 KB).
+func Download() Class {
+	return Class{
+		Name:         "download",
+		Objects:      900,
+		ZipfS:        1.4,
+		ZipfV:        3,
+		MeanLogSize:  math.Log(24 << 10), // median ~24 KB
+		SigmaLogSize: 1.0,
+		MinSize:      2 << 10,
+		MaxSize:      1 << 20,
+		RatePerSec:   106,
+	}
+}
+
+// Web returns a mixed text/page class between Image and Download in both
+// popularity skew and size.
+func Web() Class {
+	return Class{
+		Name:         "web",
+		Objects:      20000,
+		ZipfS:        1.35,
+		ZipfV:        5,
+		MeanLogSize:  math.Log(3 << 10),
+		SigmaLogSize: 1.1,
+		MinSize:      128,
+		MaxSize:      256 << 10,
+		RatePerSec:   120,
+	}
+}
+
+// Video returns a media-segment class: moderately popular, mid-size objects
+// with low size variance (fixed-duration segments).
+func Video() Class {
+	return Class{
+		Name:         "video",
+		Objects:      8000,
+		ZipfS:        1.3,
+		ZipfV:        4,
+		MeanLogSize:  math.Log(48 << 10),
+		SigmaLogSize: 0.4,
+		MinSize:      8 << 10,
+		MaxSize:      512 << 10,
+		RatePerSec:   90,
+	}
+}
+
+// Scan returns a cache-scan class: a one-pass sweep of cold objects (every
+// object requested about once), the adversarial pattern cited in §3.2.1
+// against size-only admission.
+func Scan() Class {
+	return Class{
+		Name:         "scan",
+		Objects:      200000,
+		ZipfS:        1.01, // nearly uniform
+		ZipfV:        100,
+		MeanLogSize:  math.Log(2 << 10),
+		SigmaLogSize: 0.7,
+		MinSize:      256,
+		MaxSize:      128 << 10,
+		RatePerSec:   150,
+	}
+}
+
+// ByName returns a predefined class by name.
+func ByName(name string) (Class, error) {
+	switch name {
+	case "image":
+		return Image(), nil
+	case "download":
+		return Download(), nil
+	case "web":
+		return Web(), nil
+	case "video":
+		return Video(), nil
+	case "scan":
+		return Scan(), nil
+	}
+	return Class{}, fmt.Errorf("tracegen: unknown class %q", name)
+}
+
+// classState holds the per-class sampling state during generation.
+type classState struct {
+	class Class
+	zipf  *rand.Zipf
+	sizes map[uint64]int64 // lazily assigned per-object sizes
+	base  uint64           // ID namespace offset
+	rng   *rand.Rand
+	// perm maps popularity rank → object index, lazily materialised; churn
+	// swaps entries so popularity migrates across the catalog over time.
+	perm map[uint64]uint64
+}
+
+func newClassState(c Class, index int, seed int64) *classState {
+	rng := rand.New(rand.NewSource(seed + int64(index)*7919))
+	return &classState{
+		class: c,
+		zipf:  rand.NewZipf(rng, c.ZipfS, c.ZipfV, uint64(c.Objects-1)),
+		sizes: make(map[uint64]int64),
+		base:  uint64(index) << 40,
+		rng:   rng,
+		perm:  make(map[uint64]uint64),
+	}
+}
+
+// object resolves a popularity rank to an object index through the (mostly
+// identity) churned permutation.
+func (s *classState) object(rank uint64) uint64 {
+	if o, ok := s.perm[rank]; ok {
+		return o
+	}
+	return rank
+}
+
+// churn performs one popularity swap between a (likely hot) Zipf-drawn rank
+// and a uniformly random rank.
+func (s *classState) churn() {
+	a := s.zipf.Uint64()
+	b := uint64(s.rng.Intn(s.class.Objects))
+	oa, ob := s.object(a), s.object(b)
+	s.perm[a], s.perm[b] = ob, oa
+}
+
+// next draws one request (without a timestamp) from the class.
+func (s *classState) next() trace.Request {
+	if s.class.ChurnRate > 0 {
+		n := int(s.class.ChurnRate)
+		if s.rng.Float64() < s.class.ChurnRate-float64(n) {
+			n++
+		}
+		for i := 0; i < n; i++ {
+			s.churn()
+		}
+	}
+	rank := s.zipf.Uint64()
+	id := s.base + s.object(rank)
+	size, ok := s.sizes[id]
+	if !ok {
+		size = sampleLogNormal(s.rng, s.class.MeanLogSize, s.class.SigmaLogSize, s.class.MinSize, s.class.MaxSize)
+		s.sizes[id] = size
+	}
+	return trace.Request{ID: id, Size: size}
+}
+
+func sampleLogNormal(rng *rand.Rand, mu, sigma float64, min, max int64) int64 {
+	v := int64(math.Exp(mu + sigma*rng.NormFloat64()))
+	if v < min {
+		v = min
+	}
+	if v > max {
+		v = max
+	}
+	return v
+}
+
+// MixConfig configures a mixed-class trace.
+type MixConfig struct {
+	// Classes to interleave.
+	Classes []Class
+	// Weights give each class's share of the total request rate. They are
+	// normalised internally; a zero-weight class is excluded. If nil, the
+	// classes' RatePerSec values are used.
+	Weights []float64
+	// Requests is the total trace length.
+	Requests int
+	// Seed makes generation deterministic.
+	Seed int64
+	// Name overrides the generated trace name.
+	Name string
+}
+
+// Generate produces a mixed trace: each request's class is drawn according to
+// the weights, and timestamps follow a Poisson process at the summed request
+// rate of the participating classes.
+func Generate(cfg MixConfig) (*trace.Trace, error) {
+	if cfg.Requests <= 0 {
+		return nil, fmt.Errorf("tracegen: Requests must be > 0, got %d", cfg.Requests)
+	}
+	if len(cfg.Classes) == 0 {
+		return nil, fmt.Errorf("tracegen: no classes")
+	}
+	weights := cfg.Weights
+	if weights == nil {
+		weights = make([]float64, len(cfg.Classes))
+		for i, c := range cfg.Classes {
+			weights[i] = c.RatePerSec
+		}
+	}
+	if len(weights) != len(cfg.Classes) {
+		return nil, fmt.Errorf("tracegen: %d weights for %d classes", len(weights), len(cfg.Classes))
+	}
+	var totalW, totalRate float64
+	for i, c := range cfg.Classes {
+		if err := c.Validate(); err != nil {
+			return nil, err
+		}
+		if weights[i] < 0 {
+			return nil, fmt.Errorf("tracegen: negative weight %v", weights[i])
+		}
+		totalW += weights[i]
+		totalRate += c.RatePerSec * weights[i]
+	}
+	if totalW == 0 {
+		return nil, fmt.Errorf("tracegen: all weights zero")
+	}
+	totalRate /= totalW
+
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	states := make([]*classState, len(cfg.Classes))
+	for i, c := range cfg.Classes {
+		states[i] = newClassState(c, i, cfg.Seed)
+	}
+	// Cumulative weights for class selection.
+	cum := make([]float64, len(weights))
+	var acc float64
+	for i, w := range weights {
+		acc += w / totalW
+		cum[i] = acc
+	}
+
+	name := cfg.Name
+	if name == "" {
+		name = mixName(cfg.Classes, weights, cfg.Seed)
+	}
+	out := &trace.Trace{Name: name, Requests: make([]trace.Request, 0, cfg.Requests)}
+	var now float64 // microseconds
+	usPerReq := 1e6 / totalRate
+	for n := 0; n < cfg.Requests; n++ {
+		u := rng.Float64()
+		ci := len(cum) - 1
+		for i, c := range cum {
+			if u <= c {
+				ci = i
+				break
+			}
+		}
+		r := states[ci].next()
+		now += rng.ExpFloat64() * usPerReq
+		r.Time = int64(now)
+		out.Requests = append(out.Requests, r)
+	}
+	return out, nil
+}
+
+func mixName(classes []Class, weights []float64, seed int64) string {
+	s := "mix"
+	for i, c := range classes {
+		s += fmt.Sprintf("-%s:%.0f", c.Name, weights[i])
+	}
+	return fmt.Sprintf("%s-seed%d", s, seed)
+}
+
+// ImageDownloadMix generates the paper's canonical two-class mix with the
+// Image class receiving imagePct percent of requests and Download the rest.
+func ImageDownloadMix(imagePct int, requests int, seed int64) (*trace.Trace, error) {
+	if imagePct < 0 || imagePct > 100 {
+		return nil, fmt.Errorf("tracegen: imagePct %d outside [0,100]", imagePct)
+	}
+	return Generate(MixConfig{
+		Classes:  []Class{Image(), Download()},
+		Weights:  []float64{float64(imagePct), float64(100 - imagePct)},
+		Requests: requests,
+		Seed:     seed,
+		Name:     fmt.Sprintf("mix-image%d-download%d-seed%d", imagePct, 100-imagePct, seed),
+	})
+}

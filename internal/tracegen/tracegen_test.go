@@ -1,0 +1,294 @@
+package tracegen
+
+import (
+	"sort"
+	"testing"
+
+	"darwin/internal/trace"
+)
+
+func TestPredefinedClassesValid(t *testing.T) {
+	for _, c := range []Class{Image(), Download(), Web(), Video(), Scan()} {
+		if err := c.Validate(); err != nil {
+			t.Errorf("class %s invalid: %v", c.Name, err)
+		}
+	}
+}
+
+func TestByName(t *testing.T) {
+	for _, name := range []string{"image", "download", "web", "video", "scan"} {
+		c, err := ByName(name)
+		if err != nil || c.Name != name {
+			t.Errorf("ByName(%q) = %v, %v", name, c.Name, err)
+		}
+	}
+	if _, err := ByName("nope"); err == nil {
+		t.Fatal("ByName should reject unknown classes")
+	}
+}
+
+func TestValidateRejectsBadParams(t *testing.T) {
+	base := Image()
+	cases := []func(*Class){
+		func(c *Class) { c.Objects = 0 },
+		func(c *Class) { c.ZipfS = 1.0 },
+		func(c *Class) { c.ZipfV = 0.5 },
+		func(c *Class) { c.MinSize = 0 },
+		func(c *Class) { c.MaxSize = c.MinSize - 1 },
+		func(c *Class) { c.RatePerSec = 0 },
+	}
+	for i, mut := range cases {
+		c := base
+		mut(&c)
+		if err := c.Validate(); err == nil {
+			t.Errorf("case %d: Validate accepted invalid class", i)
+		}
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	a, err := ImageDownloadMix(50, 2000, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := ImageDownloadMix(50, 2000, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Len() != b.Len() {
+		t.Fatal("lengths differ")
+	}
+	for i := range a.Requests {
+		if a.Requests[i] != b.Requests[i] {
+			t.Fatalf("request %d differs: %+v vs %+v", i, a.Requests[i], b.Requests[i])
+		}
+	}
+	c, err := ImageDownloadMix(50, 2000, 43)
+	if err != nil {
+		t.Fatal(err)
+	}
+	same := 0
+	for i := range a.Requests {
+		if a.Requests[i].ID == c.Requests[i].ID {
+			same++
+		}
+	}
+	if same == a.Len() {
+		t.Fatal("different seeds produced identical traces")
+	}
+}
+
+func TestGenerateTimestampsMonotone(t *testing.T) {
+	tr, err := ImageDownloadMix(30, 5000, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < tr.Len(); i++ {
+		if tr.Requests[i].Time < tr.Requests[i-1].Time {
+			t.Fatalf("time went backwards at %d", i)
+		}
+	}
+}
+
+func TestPerObjectSizeStable(t *testing.T) {
+	tr, err := ImageDownloadMix(0, 20000, 9) // pure download: heavy reuse
+	if err != nil {
+		t.Fatal(err)
+	}
+	sizes := map[uint64]int64{}
+	for _, r := range tr.Requests {
+		if prev, ok := sizes[r.ID]; ok && prev != r.Size {
+			t.Fatalf("object %d changed size %d -> %d", r.ID, prev, r.Size)
+		}
+		sizes[r.ID] = r.Size
+	}
+}
+
+func TestClassCharacteristics(t *testing.T) {
+	img, err := ImageDownloadMix(100, 40000, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dl, err := ImageDownloadMix(0, 40000, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	si, sd := img.Summarize(), dl.Summarize()
+	// Image: many one-hit wonders; Download: few.
+	ohwImg := float64(si.OneHitWonders) / float64(si.UniqueObjects)
+	ohwDl := float64(sd.OneHitWonders) / float64(sd.UniqueObjects)
+	if ohwImg < 0.3 {
+		t.Errorf("image one-hit-wonder fraction %.2f too low", ohwImg)
+	}
+	if ohwDl > ohwImg {
+		t.Errorf("download OHW fraction %.2f should be below image %.2f", ohwDl, ohwImg)
+	}
+	// Download objects are much larger on average.
+	if sd.MeanSize < 4*si.MeanSize {
+		t.Errorf("download mean size %.0f not >> image mean size %.0f", sd.MeanSize, si.MeanSize)
+	}
+	// Image catalog is much bigger (more unique objects in same-length trace).
+	if si.UniqueObjects < 4*sd.UniqueObjects {
+		t.Errorf("image uniques %d not >> download uniques %d", si.UniqueObjects, sd.UniqueObjects)
+	}
+}
+
+func TestImageSmallObjectShare(t *testing.T) {
+	// Paper: 71.9% of Image requests are for objects < 20 KB (scaled: 2 KB).
+	tr, err := ImageDownloadMix(100, 40000, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	small := 0
+	for _, r := range tr.Requests {
+		if r.Size < 2<<10 {
+			small++
+		}
+	}
+	if frac := float64(small) / float64(tr.Len()); frac < 0.55 {
+		t.Errorf("image small-object request share %.2f, want majority", frac)
+	}
+}
+
+func TestMixRatioRespected(t *testing.T) {
+	tr, err := ImageDownloadMix(70, 30000, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	imgReqs := 0
+	for _, r := range tr.Requests {
+		if r.ID>>40 == 0 { // class index 0 = image
+			imgReqs++
+		}
+	}
+	frac := float64(imgReqs) / float64(tr.Len())
+	if frac < 0.65 || frac > 0.75 {
+		t.Fatalf("image share %.3f, want ~0.70", frac)
+	}
+}
+
+func TestGenerateErrors(t *testing.T) {
+	if _, err := Generate(MixConfig{Requests: 0, Classes: []Class{Image()}}); err == nil {
+		t.Error("Requests=0 accepted")
+	}
+	if _, err := Generate(MixConfig{Requests: 10}); err == nil {
+		t.Error("no classes accepted")
+	}
+	if _, err := Generate(MixConfig{Requests: 10, Classes: []Class{Image()}, Weights: []float64{1, 2}}); err == nil {
+		t.Error("weight/class mismatch accepted")
+	}
+	if _, err := Generate(MixConfig{Requests: 10, Classes: []Class{Image()}, Weights: []float64{0}}); err == nil {
+		t.Error("all-zero weights accepted")
+	}
+	if _, err := Generate(MixConfig{Requests: 10, Classes: []Class{Image()}, Weights: []float64{-1}}); err == nil {
+		t.Error("negative weight accepted")
+	}
+	if _, err := ImageDownloadMix(101, 10, 1); err == nil {
+		t.Error("imagePct out of range accepted")
+	}
+}
+
+func TestNamespacesDisjoint(t *testing.T) {
+	tr, err := ImageDownloadMix(50, 10000, 13)
+	if err != nil {
+		t.Fatal(err)
+	}
+	classes := map[uint64]bool{}
+	for _, r := range tr.Requests {
+		classes[r.ID>>40] = true
+	}
+	if len(classes) != 2 {
+		t.Fatalf("expected 2 ID namespaces, got %d", len(classes))
+	}
+}
+
+func TestScanClassNearlyOnePass(t *testing.T) {
+	tr, err := Generate(MixConfig{Classes: []Class{Scan()}, Requests: 20000, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := tr.Summarize()
+	if ratio := float64(s.Requests) / float64(s.UniqueObjects); ratio > 3 {
+		t.Errorf("scan reuse ratio %.2f, want near 1", ratio)
+	}
+}
+
+var sinkTrace *trace.Trace
+
+func BenchmarkGenerate(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		tr, err := ImageDownloadMix(50, 10000, int64(i))
+		if err != nil {
+			b.Fatal(err)
+		}
+		sinkTrace = tr
+	}
+}
+
+func TestChurnMigratesPopularity(t *testing.T) {
+	// With churn, the hot set drifts: the top objects of the first half
+	// should overlap less with the second half than without churn.
+	overlap := func(churn float64) float64 {
+		c := Download()
+		c.ChurnRate = churn
+		tr, err := Generate(MixConfig{Classes: []Class{c}, Requests: 40000, Seed: 5})
+		if err != nil {
+			t.Fatal(err)
+		}
+		top := func(lo, hi int) map[uint64]bool {
+			counts := map[uint64]int{}
+			for _, r := range tr.Requests[lo:hi] {
+				counts[r.ID]++
+			}
+			type kv struct {
+				id uint64
+				n  int
+			}
+			var all []kv
+			for id, n := range counts {
+				all = append(all, kv{id, n})
+			}
+			sort.Slice(all, func(i, j int) bool { return all[i].n > all[j].n })
+			out := map[uint64]bool{}
+			for i := 0; i < 50 && i < len(all); i++ {
+				out[all[i].id] = true
+			}
+			return out
+		}
+		a := top(0, 20000)
+		b := top(20000, 40000)
+		shared := 0
+		for id := range a {
+			if b[id] {
+				shared++
+			}
+		}
+		return float64(shared) / 50
+	}
+	stationary := overlap(0)
+	churned := overlap(0.05)
+	if churned >= stationary {
+		t.Fatalf("churn did not reduce hot-set overlap: %.2f vs %.2f", churned, stationary)
+	}
+	if stationary < 0.8 {
+		t.Fatalf("stationary hot set unexpectedly unstable: %.2f", stationary)
+	}
+}
+
+func TestChurnDeterministic(t *testing.T) {
+	c := Image()
+	c.ChurnRate = 0.01
+	a, err := Generate(MixConfig{Classes: []Class{c}, Requests: 2000, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Generate(MixConfig{Classes: []Class{c}, Requests: 2000, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.Requests {
+		if a.Requests[i] != b.Requests[i] {
+			t.Fatal("churned generation not deterministic")
+		}
+	}
+}
