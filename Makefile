@@ -1,0 +1,27 @@
+# Development targets. `make tier1` is the PR gate: vet + build + full test
+# suite, plus the race detector on the concurrency-heavy packages (the HTTP
+# prototype's proxy/origin, the load-balancer model, and the cache).
+
+GO ?= go
+
+.PHONY: tier1 vet build test race bench chaos
+
+tier1: vet build test race
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./internal/server ./internal/lb ./internal/cache
+
+bench:
+	$(GO) test -bench . -run xxx -benchtime 0.5s ./internal/server
+
+chaos:
+	$(GO) run ./cmd/experiments -only chaos

@@ -11,10 +11,14 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"net/http"
 	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
 	"darwin/internal/baselines"
@@ -36,6 +40,15 @@ func main() {
 		dc        = flag.Int64("dc", 200<<20, "DC bytes")
 		objective = flag.String("objective", "ohr", "darwin objective: ohr | bmr | combined")
 		modelPath = flag.String("model", "", "pre-trained model file from darwin-train (skips startup training)")
+
+		resilient    = flag.Bool("resilient", true, "enable the fault-tolerance layer (retries, coalescing, serve-stale)")
+		retries      = flag.Int("retries", 4, "total origin fetch attempts per miss (1 = no retry)")
+		fetchTimeout = flag.Duration("fetch-timeout", 2*time.Second, "per-attempt origin fetch deadline")
+		backoff      = flag.Duration("backoff", 5*time.Millisecond, "base retry backoff (doubles per retry, jittered)")
+		backoffMax   = flag.Duration("backoff-max", 250*time.Millisecond, "retry backoff cap")
+		coalesce     = flag.Bool("coalesce", true, "single-flight coalescing of concurrent misses")
+		serveStale   = flag.Bool("serve-stale", true, "serve previously-seen objects stale when the origin is down")
+		drain        = flag.Duration("drain", 10*time.Second, "graceful shutdown drain deadline")
 	)
 	flag.Parse()
 
@@ -84,18 +97,67 @@ func main() {
 		fatal(err)
 	}
 
-	proxy := server.NewProxy(dec, *origin, *dcLatency)
+	res := server.Resilience{
+		Enabled:      *resilient,
+		MaxAttempts:  *retries,
+		FetchTimeout: *fetchTimeout,
+		BackoffBase:  *backoff,
+		BackoffMax:   *backoffMax,
+		Coalesce:     *coalesce,
+		ServeStale:   *serveStale,
+		Seed:         1,
+	}
+	proxy := server.NewResilientProxy(dec, *origin, *dcLatency, res)
 	mux := http.NewServeMux()
 	mux.Handle("/obj/", proxy)
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
 		m := proxy.Metrics()
+		st := proxy.Stats()
 		fmt.Fprintf(w, "requests %d\nhoc_hits %d\ndc_hits %d\nmisses %d\nohr %.4f\nbmr %.4f\ndisk_write_bytes %d\n",
 			m.Requests, m.HOCHits, m.DCHits, m.Misses, m.OHR(), m.BMR(), m.DCWriteBytes)
+		fmt.Fprintf(w, "origin_fetches %d\nretries %d\nfetch_failures %d\ncoalesced %d\nstale_serves %d\nproxy_errors %d\n",
+			st.OriginFetches, st.Retries, st.FetchFailures, st.Coalesced, st.StaleServes, st.Errors)
 	})
-	fmt.Fprintf(os.Stderr, "darwin-proxy: %s mode, listening on %s, origin %s\n", *mode, *addr, *origin)
-	if err := http.ListenAndServe(*addr, mux); err != nil {
+	// Timeouts close slowloris-style connections that trickle headers or
+	// hold sockets idle; graceful shutdown drains in-flight requests.
+	srv := &http.Server{
+		Addr:              *addr,
+		Handler:           mux,
+		ReadHeaderTimeout: 5 * time.Second,
+		ReadTimeout:       30 * time.Second,
+		IdleTimeout:       60 * time.Second,
+	}
+	fmt.Fprintf(os.Stderr, "darwin-proxy: %s mode, listening on %s, origin %s (resilient=%v)\n", *mode, *addr, *origin, *resilient)
+	if err := runServer(srv, *drain); err != nil {
 		fatal(err)
 	}
+	st := proxy.Stats()
+	fmt.Fprintf(os.Stderr, "darwin-proxy: %d origin fetches, %d retries, %d coalesced, %d stale serves, %d fetch failures\n",
+		st.OriginFetches, st.Retries, st.Coalesced, st.StaleServes, st.FetchFailures)
+}
+
+// runServer serves until SIGINT/SIGTERM, then drains connections for up to
+// the given deadline before returning.
+func runServer(srv *http.Server, drain time.Duration) error {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	errc := make(chan error, 1)
+	go func() { errc <- srv.ListenAndServe() }()
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+	}
+	fmt.Fprintln(os.Stderr, "darwin-proxy: shutting down, draining connections...")
+	sctx, cancel := context.WithTimeout(context.Background(), drain)
+	defer cancel()
+	if err := srv.Shutdown(sctx); err != nil {
+		return fmt.Errorf("shutdown: %w", err)
+	}
+	if err := <-errc; err != nil && !errors.Is(err, http.ErrServerClosed) {
+		return err
+	}
+	return nil
 }
 
 func fatal(err error) {

@@ -211,6 +211,14 @@ func main() {
 			emit(rep)
 			return nil
 		}},
+		{"chaos", func() error {
+			rep, err := exp.ChaosReport(exp.DefaultChaosConfig())
+			if err != nil {
+				return err
+			}
+			emit(rep)
+			return nil
+		}},
 		{"ablations", func() error {
 			for _, f := range []func(exp.Scale) (*exp.Report, error){
 				exp.AblationSideInfo,

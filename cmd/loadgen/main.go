@@ -61,7 +61,14 @@ func main() {
 		fatal(err)
 	}
 
-	fmt.Printf("requests:    %d ok, %d errors\n", res.Requests, res.Errors)
+	fmt.Printf("requests:    %d ok, %d errors (%.2f%% error rate)\n", res.Requests, res.Errors, 100*res.ErrorRate())
+	if res.Errors > 0 {
+		fmt.Printf("error mix:   %d timeout / %d 5xx / %d truncated / %d other\n",
+			res.Timeouts, res.Status5xx, res.Truncated, res.OtherErrors)
+	}
+	if res.StaleServes > 0 {
+		fmt.Printf("degraded:    %d stale serves (origin down, served from proxy memory)\n", res.StaleServes)
+	}
 	fmt.Printf("wall time:   %v\n", res.Wall.Round(time.Millisecond))
 	fmt.Printf("throughput:  %.1f Mbps\n", res.ThroughputBps()/1e6)
 	fmt.Printf("cache mix:   %d hoc / %d dc / %d miss\n", res.HOCHits, res.DCHits, res.Misses)

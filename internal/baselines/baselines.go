@@ -81,6 +81,9 @@ func (s *Static) Name() string { return s.name }
 // Serve implements Server.
 func (s *Static) Serve(r trace.Request) cache.Result { return s.hier.Serve(r) }
 
+// Lookup probes residency without mutating cache state (server.Lookuper).
+func (s *Static) Lookup(id uint64) cache.Result { return s.hier.Lookup(id) }
+
 // Metrics implements Server.
 func (s *Static) Metrics() cache.Metrics { return s.hier.Metrics() }
 

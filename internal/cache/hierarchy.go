@@ -197,6 +197,21 @@ func (h *Hierarchy) SetAdmitOnMiss(v bool) { h.admitOnMiss = v }
 // ExpertSwitches returns how many times the deployed expert changed.
 func (h *Hierarchy) ExpertSwitches() int64 { return h.expertSwitches }
 
+// Lookup reports where id would be served from right now, mutating no cache
+// state, metrics, or frequency tracking. The HTTP proxy probes residency
+// with Lookup before an origin fetch and commits the request through Serve
+// only after the fetch succeeds, so failed fetches never produce phantom
+// admissions.
+func (h *Hierarchy) Lookup(id uint64) Result {
+	if h.hoc.Contains(id) {
+		return HOCHit
+	}
+	if h.dc.Contains(id) {
+		return DCHit
+	}
+	return Miss
+}
+
 // Serve processes one request and returns where it was served from.
 func (h *Hierarchy) Serve(r trace.Request) Result {
 	idx := h.reqIdx

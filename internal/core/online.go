@@ -207,6 +207,12 @@ func (c *Controller) Metrics() cache.Metrics { return c.hier.Metrics() }
 // ResetMetrics clears the hierarchy's counters (warm-up exclusion).
 func (c *Controller) ResetMetrics() { c.hier.ResetMetrics() }
 
+// Lookup probes residency without mutating cache or controller state
+// (server.Lookuper): the controller's state machine advances only on
+// committed Serve calls, so failed origin fetches never consume warm-up or
+// round budget.
+func (c *Controller) Lookup(id uint64) cache.Result { return c.hier.Lookup(id) }
+
 // Serve processes one request through the cache and advances the controller
 // state machine.
 func (c *Controller) Serve(r trace.Request) cache.Result {

@@ -1,8 +1,10 @@
 package server
 
 import (
+	"errors"
 	"fmt"
 	"io"
+	"net"
 	"net/http"
 	"sort"
 	"sync"
@@ -13,10 +15,26 @@ import (
 
 // LoadResult aggregates a load-generation run (§6.4's measurements).
 type LoadResult struct {
-	// Requests completed successfully.
+	// Requests completed successfully (including degraded stale serves).
 	Requests int
-	// Errors counts failed requests.
+	// Errors counts failed requests; the classification fields below break
+	// it down (timeout vs upstream 5xx vs mid-stream truncation).
 	Errors int
+	// Timeouts counts requests that hit the client deadline (a stalled or
+	// unreachable proxy/origin).
+	Timeouts int
+	// Status5xx counts 5xx (and other non-2xx) responses.
+	Status5xx int
+	// Truncated counts responses whose body ended short of the declared
+	// Content-Length (mid-stream truncation).
+	Truncated int
+	// OtherErrors counts transport failures that fit none of the above.
+	OtherErrors int
+	// StaleServes counts degraded-mode responses (X-Cache: stale): the proxy
+	// answered from its serve-stale store because the origin was down. They
+	// are successes from the client's point of view and also count in
+	// Requests.
+	StaleServes int
 	// Bytes is the total payload bytes received.
 	Bytes int64
 	// Wall is the end-to-end run duration.
@@ -33,6 +51,15 @@ func (r LoadResult) ThroughputBps() float64 {
 		return 0
 	}
 	return float64(r.Bytes) * 8 / r.Wall.Seconds()
+}
+
+// ErrorRate returns the client-visible error fraction.
+func (r LoadResult) ErrorRate() float64 {
+	total := r.Requests + r.Errors
+	if total == 0 {
+		return 0
+	}
+	return float64(r.Errors) / float64(total)
 }
 
 // LatencyPercentile returns the p-th percentile first-byte latency.
@@ -55,10 +82,26 @@ type LoadConfig struct {
 	// ClientLatency is an injected client→proxy delay added to each request
 	// (the paper injects 10 ms; tests use 0).
 	ClientLatency time.Duration
+	// RequestTimeout bounds each client request end to end (default 60 s).
+	RequestTimeout time.Duration
+}
+
+// classify folds one request outcome into res (caller holds the lock).
+func classify(res *LoadResult, err error) {
+	res.Errors++
+	var ne net.Error
+	switch {
+	case errors.As(err, &ne) && ne.Timeout():
+		res.Timeouts++
+	case errors.Is(err, io.ErrUnexpectedEOF):
+		res.Truncated++
+	default:
+		res.OtherErrors++
+	}
 }
 
 // RunLoad replays tr against a proxy with the configured concurrency,
-// measuring first-byte latency per request.
+// measuring first-byte latency per request and classifying failures.
 func RunLoad(tr *trace.Trace, cfg LoadConfig) (LoadResult, error) {
 	if cfg.Concurrency <= 0 {
 		return LoadResult{}, fmt.Errorf("server: concurrency must be > 0")
@@ -66,11 +109,15 @@ func RunLoad(tr *trace.Trace, cfg LoadConfig) (LoadResult, error) {
 	if tr.Len() == 0 {
 		return LoadResult{}, fmt.Errorf("server: empty trace")
 	}
+	timeout := cfg.RequestTimeout
+	if timeout <= 0 {
+		timeout = 60 * time.Second
+	}
 	transport := &http.Transport{
 		MaxIdleConns:        cfg.Concurrency * 2,
 		MaxIdleConnsPerHost: cfg.Concurrency * 2,
 	}
-	client := &http.Client{Transport: transport, Timeout: 60 * time.Second}
+	client := &http.Client{Transport: transport, Timeout: timeout}
 	defer transport.CloseIdleConnections()
 
 	work := make(chan trace.Request)
@@ -91,7 +138,7 @@ func RunLoad(tr *trace.Trace, cfg LoadConfig) (LoadResult, error) {
 			resp, err := client.Get(url)
 			if err != nil {
 				mu.Lock()
-				res.Errors++
+				classify(&res, err)
 				mu.Unlock()
 				continue
 			}
@@ -106,9 +153,13 @@ func RunLoad(tr *trace.Trace, cfg LoadConfig) (LoadResult, error) {
 			}
 			resp.Body.Close()
 			mu.Lock()
-			if rerr != nil && rerr != io.EOF {
+			switch {
+			case resp.StatusCode >= 400:
 				res.Errors++
-			} else {
+				res.Status5xx++
+			case rerr != nil && rerr != io.EOF:
+				classify(&res, rerr)
+			default:
 				res.Requests++
 				res.Bytes += n
 				res.FirstByte = append(res.FirstByte, fb)
@@ -119,6 +170,8 @@ func RunLoad(tr *trace.Trace, cfg LoadConfig) (LoadResult, error) {
 					res.DCHits++
 				case "miss":
 					res.Misses++
+				case "stale":
+					res.StaleServes++
 				}
 			}
 			mu.Unlock()

@@ -8,15 +8,31 @@
 // straight from memory; a DC hit pays a configurable disk-access latency; a
 // miss pays a round trip to the origin, which itself delays each response by
 // the injected origin RTT. Cache state is guarded by a single mutex — the
-// same HOC lock contention the paper observes at high concurrency.
+// same HOC lock contention the paper observes at high concurrency — but the
+// critical section covers only the decider call, never body writes or
+// origin I/O.
+//
+// The proxy has two data-plane modes. The legacy mode (NewProxy) reproduces
+// the paper's happy-path testbed: one origin fetch per miss, streamed to the
+// client. The resilient mode (NewResilientProxy) hardens the same path for a
+// faulty origin: per-request context deadlines, retried fetches with
+// exponential backoff and jitter, single-flight coalescing so concurrent
+// misses for one object cost one origin fetch, and graceful degradation —
+// when the origin stays down the proxy serves a previously-seen object stale
+// (the serve-stale analogue) and only then answers 502. A failed fetch is
+// accounted as a proxy error, never as a cache admission, so origin faults
+// cannot corrupt the decider's view of what is resident.
 package server
 
 import (
+	"context"
 	"fmt"
 	"io"
+	"math/rand"
 	"net/http"
 	"strconv"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"darwin/internal/cache"
@@ -53,10 +69,16 @@ type Origin struct {
 	// Latency is the injected delay per request (the paper injects 100 ms
 	// between proxy and origin; tests use smaller values).
 	Latency time.Duration
-	// requests counts served requests (midgress accounting).
-	requests int64
-	bytes    int64
-	mu       sync.Mutex
+	// requests/bytes count served work (midgress accounting). Atomics, so
+	// high-concurrency request accounting never serializes handlers.
+	requests atomic.Int64
+	bytes    atomic.Int64
+}
+
+// account records one served request of the given size.
+func (o *Origin) account(size int64) {
+	o.requests.Add(1)
+	o.bytes.Add(size)
 }
 
 // ServeHTTP implements http.Handler for GET /obj/<id>?size=<bytes>.
@@ -67,10 +89,7 @@ func (o *Origin) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	time.Sleep(o.Latency)
-	o.mu.Lock()
-	o.requests++
-	o.bytes += size
-	o.mu.Unlock()
+	o.account(size)
 	w.Header().Set("Content-Length", strconv.FormatInt(size, 10))
 	w.WriteHeader(http.StatusOK)
 	writeBody(w, size)
@@ -78,9 +97,7 @@ func (o *Origin) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 
 // Stats returns the origin's served request and byte counts (midgress).
 func (o *Origin) Stats() (requests, bytes int64) {
-	o.mu.Lock()
-	defer o.mu.Unlock()
-	return o.requests, o.bytes
+	return o.requests.Load(), o.bytes.Load()
 }
 
 // parseObjectURL extracts (id, size) from /obj/<id>?size=<n>.
@@ -112,9 +129,78 @@ type Decider interface {
 	Name() string
 }
 
+// Lookuper is an optional Decider extension: a residency probe that mutates
+// no cache state, metrics, or frequency tracking. The resilient proxy probes
+// before an origin fetch and commits the request through Serve only after
+// the fetch succeeds, so a failed fetch cannot leave a phantom admission in
+// the cache (the decider believing an object is DC-resident whose bytes
+// never arrived).
+type Lookuper interface {
+	Lookup(id uint64) cache.Result
+}
+
+// Resilience configures the proxy's fault-tolerance layer. The zero value
+// disables it, reproducing the legacy happy-path data plane.
+type Resilience struct {
+	// Enabled turns the resilient miss path on.
+	Enabled bool
+	// MaxAttempts is the total origin fetch attempts per miss (1 = no retry).
+	MaxAttempts int
+	// FetchTimeout bounds each attempt (headers + full body).
+	FetchTimeout time.Duration
+	// BackoffBase is the pre-jitter backoff before the first retry; it
+	// doubles per retry up to BackoffMax.
+	BackoffBase time.Duration
+	// BackoffMax caps the exponential backoff.
+	BackoffMax time.Duration
+	// Coalesce enables single-flight coalescing of concurrent misses.
+	Coalesce bool
+	// ServeStale enables degraded mode: when the origin stays down after
+	// retries, a previously-served object is answered stale instead of 502.
+	ServeStale bool
+	// StaleCap bounds the remembered-object set (default 64k entries).
+	StaleCap int
+	// Seed drives the backoff jitter.
+	Seed int64
+}
+
+// DefaultResilience returns the hardened defaults used by cmd/darwin-proxy
+// and the chaos experiment: 4 attempts, 2 s per-attempt deadline, 5 ms base
+// backoff capped at 250 ms, coalescing and serve-stale on.
+func DefaultResilience() Resilience {
+	return Resilience{
+		Enabled:      true,
+		MaxAttempts:  4,
+		FetchTimeout: 2 * time.Second,
+		BackoffBase:  5 * time.Millisecond,
+		BackoffMax:   250 * time.Millisecond,
+		Coalesce:     true,
+		ServeStale:   true,
+		StaleCap:     64 << 10,
+		Seed:         1,
+	}
+}
+
+// ProxyStats is a snapshot of the proxy's data-plane counters.
+type ProxyStats struct {
+	// OriginFetches counts fetch attempts sent to the origin.
+	OriginFetches int64
+	// Retries counts attempts beyond the first per miss.
+	Retries int64
+	// FetchFailures counts misses that exhausted every attempt.
+	FetchFailures int64
+	// Coalesced counts requests that piggybacked on another request's fetch.
+	Coalesced int64
+	// StaleServes counts degraded-mode responses.
+	StaleServes int64
+	// Errors counts client-visible 5xx responses issued by this proxy.
+	Errors int64
+}
+
 // Proxy is the CDN edge server.
 type Proxy struct {
-	// Decider drives HOC/DC decisions; guarded by mu.
+	// Decider drives HOC/DC decisions; guarded by mu. The critical section
+	// covers only decider calls, never origin I/O or body writes.
 	decider Decider
 	mu      sync.Mutex
 
@@ -125,16 +211,51 @@ type Proxy struct {
 	// Client issues origin fetches.
 	Client *http.Client
 
+	res     Resilience
+	flights flightGroup
+
+	// stale remembers objects the proxy has successfully served, bounded by
+	// res.StaleCap — the prototype's serve-stale store (bodies are
+	// deterministic, so only membership must be remembered).
+	staleMu sync.Mutex
+	stale   map[uint64]int64
+
+	rngMu sync.Mutex
+	rng   *rand.Rand
+
+	originFetches, retries, fetchFailures atomic.Int64
+	coalesced, staleServes, proxyErrors   atomic.Int64
+
 	start time.Time
 }
 
-// NewProxy builds a proxy around a decider.
+// NewProxy builds a proxy with the legacy happy-path data plane (no retries,
+// no coalescing, no degraded mode) — the pre-hardening behavior, kept as the
+// chaos experiment's control arm.
 func NewProxy(decider Decider, originURL string, dcLatency time.Duration) *Proxy {
+	return NewResilientProxy(decider, originURL, dcLatency, Resilience{})
+}
+
+// NewResilientProxy builds a proxy with the given fault-tolerance layer.
+func NewResilientProxy(decider Decider, originURL string, dcLatency time.Duration, res Resilience) *Proxy {
+	if res.Enabled {
+		if res.MaxAttempts <= 0 {
+			res.MaxAttempts = 1
+		}
+		if res.BackoffBase <= 0 {
+			res.BackoffBase = 5 * time.Millisecond
+		}
+		if res.StaleCap <= 0 {
+			res.StaleCap = 64 << 10
+		}
+	}
 	return &Proxy{
 		decider:   decider,
 		OriginURL: originURL,
 		DCLatency: dcLatency,
 		Client:    &http.Client{Timeout: 30 * time.Second},
+		res:       res,
+		rng:       rand.New(rand.NewSource(res.Seed)),
 		start:     time.Now(),
 	}
 }
@@ -146,6 +267,25 @@ func (p *Proxy) Metrics() cache.Metrics {
 	return p.decider.Metrics()
 }
 
+// Stats returns a snapshot of the proxy's data-plane counters.
+func (p *Proxy) Stats() ProxyStats {
+	return ProxyStats{
+		OriginFetches: p.originFetches.Load(),
+		Retries:       p.retries.Load(),
+		FetchFailures: p.fetchFailures.Load(),
+		Coalesced:     p.coalesced.Load(),
+		StaleServes:   p.staleServes.Load(),
+		Errors:        p.proxyErrors.Load(),
+	}
+}
+
+// serve runs the decider for one request under the proxy lock.
+func (p *Proxy) serve(req trace.Request) cache.Result {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.decider.Serve(req)
+}
+
 // ServeHTTP implements http.Handler for GET /obj/<id>?size=<n>.
 func (p *Proxy) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	id, size, err := parseObjectURL(r)
@@ -154,40 +294,263 @@ func (p *Proxy) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	req := trace.Request{ID: id, Size: size, Time: time.Since(p.start).Microseconds()}
-	p.mu.Lock()
-	res := p.decider.Serve(req)
-	p.mu.Unlock()
+	if p.res.Enabled {
+		p.serveResilient(w, r, req)
+		return
+	}
 
+	// Legacy happy-path data plane: decide first (a miss is accounted — and
+	// possibly admitted — before the origin fetch is known to succeed).
+	res := p.serve(req)
 	w.Header().Set("X-Cache", res.String())
-	w.Header().Set("Content-Length", strconv.FormatInt(size, 10))
-	switch res {
-	case cache.HOCHit:
-		// In-memory: no artificial delay.
-	case cache.DCHit:
-		time.Sleep(p.DCLatency)
-	case cache.Miss:
-		if err := p.fetchOrigin(w, id, size); err != nil {
-			http.Error(w, err.Error(), http.StatusBadGateway)
-			return
+	if res == cache.Miss {
+		headerSent, err := p.fetchOriginStream(w, r, id, size)
+		if err != nil {
+			p.proxyErrors.Add(1)
+			if !headerSent {
+				http.Error(w, err.Error(), http.StatusBadGateway)
+			}
+			// After the header is out the short body itself signals the
+			// failure: the connection closes below the declared length.
 		}
 		return
 	}
+	p.serveLocal(w, res, size)
+}
+
+// serveLocal answers a request from the proxy itself (cache hits, committed
+// misses, stale serves), paying the DC delay for disk hits.
+func (p *Proxy) serveLocal(w http.ResponseWriter, res cache.Result, size int64) {
+	if res == cache.DCHit {
+		time.Sleep(p.DCLatency)
+	}
+	w.Header().Set("Content-Length", strconv.FormatInt(size, 10))
 	w.WriteHeader(http.StatusOK)
 	writeBody(w, size)
 }
 
-// fetchOrigin streams the object from the origin to the client.
-func (p *Proxy) fetchOrigin(w http.ResponseWriter, id uint64, size int64) error {
+// serveResilient is the hardened miss path: probe residency without mutating
+// the cache, fetch (coalesced + retried) on a miss, and commit the request
+// through the decider only once the bytes are known good.
+func (p *Proxy) serveResilient(w http.ResponseWriter, r *http.Request, req trace.Request) {
+	lk, canProbe := p.decider.(Lookuper)
+	if canProbe {
+		p.mu.Lock()
+		probe := lk.Lookup(req.ID)
+		p.mu.Unlock()
+		if probe != cache.Miss {
+			res := p.serve(req)
+			w.Header().Set("X-Cache", res.String())
+			p.serveLocal(w, res, req.Size)
+			p.rememberStale(req.ID, req.Size)
+			return
+		}
+	} else {
+		// No probe seam: fall back to decide-first ordering. Retries and
+		// coalescing still apply, but a failed fetch leaves the decider's
+		// miss accounting behind (documented phantom-admission caveat).
+		res := p.serve(req)
+		if res != cache.Miss {
+			w.Header().Set("X-Cache", res.String())
+			p.serveLocal(w, res, req.Size)
+			p.rememberStale(req.ID, req.Size)
+			return
+		}
+	}
+
+	err := p.fetchResilient(r.Context(), req.ID, req.Size)
+	if err == nil {
+		res := cache.Miss
+		if canProbe {
+			// Commit only now: the fetch succeeded, so the miss (and any
+			// admission) enters the decider's books. A coalesced peer may
+			// have admitted the object already, in which case Serve reports
+			// the hit it found.
+			res = p.serve(req)
+		}
+		w.Header().Set("X-Cache", res.String())
+		p.serveLocal(w, res, req.Size)
+		p.rememberStale(req.ID, req.Size)
+		return
+	}
+
+	// Degraded mode: the origin is down and retries are exhausted. Serve the
+	// object stale if this proxy has ever served it, else surface the 502.
+	// The request is accounted as a proxy error, not as a cache admission.
+	if p.res.ServeStale {
+		if _, ok := p.staleHas(req.ID); ok {
+			p.staleServes.Add(1)
+			w.Header().Set("X-Cache", "stale")
+			w.Header().Set("Warning", `110 darwin-proxy "response is stale"`)
+			p.serveLocal(w, cache.HOCHit, req.Size)
+			return
+		}
+	}
+	p.proxyErrors.Add(1)
+	http.Error(w, fmt.Sprintf("server: origin unavailable: %v", err), http.StatusBadGateway)
+}
+
+// rememberStale records a successfully served object for degraded mode.
+func (p *Proxy) rememberStale(id uint64, size int64) {
+	if !p.res.ServeStale {
+		return
+	}
+	p.staleMu.Lock()
+	defer p.staleMu.Unlock()
+	if p.stale == nil {
+		p.stale = make(map[uint64]int64)
+	}
+	if _, ok := p.stale[id]; !ok && len(p.stale) >= p.res.StaleCap {
+		for k := range p.stale { // evict an arbitrary entry to stay bounded
+			delete(p.stale, k)
+			break
+		}
+	}
+	p.stale[id] = size
+}
+
+// staleHas reports whether the proxy has served id before.
+func (p *Proxy) staleHas(id uint64) (int64, bool) {
+	p.staleMu.Lock()
+	defer p.staleMu.Unlock()
+	size, ok := p.stale[id]
+	return size, ok
+}
+
+// fetchResilient fetches one object with coalescing and retries. Coalesced
+// fetches run under a detached context: their outcome is shared by every
+// waiter, so they must not die with the leader's client connection.
+func (p *Proxy) fetchResilient(ctx context.Context, id uint64, size int64) error {
+	if !p.res.Coalesce {
+		return p.fetchRetry(ctx, id, size)
+	}
+	err, shared := p.flights.Do(flightKey{id: id, size: size}, func() error {
+		return p.fetchRetry(context.Background(), id, size)
+	})
+	if shared {
+		p.coalesced.Add(1)
+	}
+	return err
+}
+
+// fetchRetry runs up to MaxAttempts origin fetches with exponential backoff
+// and jitter between attempts.
+func (p *Proxy) fetchRetry(ctx context.Context, id uint64, size int64) error {
+	var lastErr error
+	for attempt := 0; attempt < p.res.MaxAttempts; attempt++ {
+		if attempt > 0 {
+			p.retries.Add(1)
+			if err := sleepCtx(ctx, p.backoff(attempt)); err != nil {
+				break
+			}
+		}
+		p.originFetches.Add(1)
+		if err := p.fetchDiscard(ctx, id, size); err != nil {
+			lastErr = err
+			if ctx.Err() != nil {
+				break
+			}
+			continue
+		}
+		return nil
+	}
+	p.fetchFailures.Add(1)
+	return lastErr
+}
+
+// backoff returns the pre-retry delay for the given attempt (1-based):
+// exponential with "equal jitter" (half fixed, half uniform) so synchronized
+// retry storms against a recovering origin desynchronize.
+func (p *Proxy) backoff(attempt int) time.Duration {
+	d := p.res.BackoffBase << (attempt - 1)
+	if p.res.BackoffMax > 0 && d > p.res.BackoffMax {
+		d = p.res.BackoffMax
+	}
+	p.rngMu.Lock()
+	j := time.Duration(p.rng.Int63n(int64(d)/2 + 1))
+	p.rngMu.Unlock()
+	return d/2 + j
+}
+
+// sleepCtx sleeps for d unless ctx ends first.
+func sleepCtx(ctx context.Context, d time.Duration) error {
+	if d <= 0 {
+		return ctx.Err()
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-t.C:
+		return nil
+	}
+}
+
+// fetchDiscard performs one origin fetch under a per-attempt deadline,
+// consuming and validating the full body without buffering it: bodies are
+// deterministic, so the proxy regenerates them for clients. A non-200
+// status, a transport error, or a short body (mid-stream truncation) all
+// count as a failed attempt and are retried.
+func (p *Proxy) fetchDiscard(ctx context.Context, id uint64, size int64) error {
+	if p.res.FetchTimeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, p.res.FetchTimeout)
+		defer cancel()
+	}
 	url := fmt.Sprintf("%s/obj/%d?size=%d", p.OriginURL, id, size)
-	resp, err := p.Client.Get(url)
+	hreq, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
+	if err != nil {
+		return fmt.Errorf("server: origin request: %w", err)
+	}
+	resp, err := p.Client.Do(hreq)
 	if err != nil {
 		return fmt.Errorf("server: origin fetch: %w", err)
 	}
 	defer resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
+		io.CopyN(io.Discard, resp.Body, 1<<10)
 		return fmt.Errorf("server: origin status %d", resp.StatusCode)
 	}
+	n, err := io.Copy(io.Discard, resp.Body)
+	if err != nil {
+		return fmt.Errorf("server: origin body after %d/%d bytes: %w", n, size, err)
+	}
+	if n != size {
+		return fmt.Errorf("server: origin body truncated: %d/%d bytes", n, size)
+	}
+	return nil
+}
+
+// fetchOriginStream streams the object from the origin to the client — the
+// legacy miss path. Origin response headers (Content-Length) are propagated
+// before the status line, so a truncated origin body surfaces to the client
+// as a short read instead of a silent short 200. headerSent tells the caller
+// whether a 502 can still be written.
+func (p *Proxy) fetchOriginStream(w http.ResponseWriter, r *http.Request, id uint64, size int64) (headerSent bool, err error) {
+	p.originFetches.Add(1)
+	url := fmt.Sprintf("%s/obj/%d?size=%d", p.OriginURL, id, size)
+	hreq, err := http.NewRequestWithContext(r.Context(), http.MethodGet, url, nil)
+	if err != nil {
+		return false, fmt.Errorf("server: origin request: %w", err)
+	}
+	resp, err := p.Client.Do(hreq)
+	if err != nil {
+		return false, fmt.Errorf("server: origin fetch: %w", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		io.CopyN(io.Discard, resp.Body, 1<<10)
+		return false, fmt.Errorf("server: origin status %d", resp.StatusCode)
+	}
+	if cl := resp.Header.Get("Content-Length"); cl != "" {
+		w.Header().Set("Content-Length", cl)
+	} else {
+		w.Header().Set("Content-Length", strconv.FormatInt(size, 10))
+	}
 	w.WriteHeader(http.StatusOK)
-	_, err = io.Copy(w, resp.Body)
-	return err
+	if n, err := io.Copy(w, resp.Body); err != nil {
+		return true, fmt.Errorf("server: origin copy after %d/%d bytes: %w", n, size, err)
+	}
+	return true, nil
 }

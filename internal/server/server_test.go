@@ -193,11 +193,13 @@ func TestRunLoadCountsErrors(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	// Responses arrive (status 502) and bodies are readable, so they count as
-	// requests with miss-less X-Cache; the important part is no panic and
-	// consistent accounting.
+	// 5xx responses are classified as errors; accounting must stay
+	// consistent either way.
 	if res.Requests+res.Errors != 2 {
 		t.Fatalf("accounting off: %+v", res)
+	}
+	if res.Status5xx != 2 {
+		t.Fatalf("5xx not classified: %+v", res)
 	}
 }
 

@@ -1,0 +1,51 @@
+package server
+
+import "sync"
+
+// flightKey identifies one origin object for request coalescing.
+type flightKey struct {
+	id   uint64
+	size int64
+}
+
+// flightCall is one in-flight origin fetch shared by all coalesced waiters.
+type flightCall struct {
+	wg  sync.WaitGroup
+	err error
+}
+
+// flightGroup is a minimal single-flight implementation (stdlib-only stand-in
+// for golang.org/x/sync/singleflight): concurrent Do calls with the same key
+// share one execution of fn, so N simultaneous misses for one object cost a
+// single origin fetch — the proxy's thundering-herd protection.
+type flightGroup struct {
+	mu sync.Mutex
+	m  map[flightKey]*flightCall
+}
+
+// Do executes fn once per key among concurrent callers, returning fn's error
+// to every waiter. shared reports whether this caller piggybacked on another
+// caller's fetch rather than performing its own.
+func (g *flightGroup) Do(key flightKey, fn func() error) (err error, shared bool) {
+	g.mu.Lock()
+	if g.m == nil {
+		g.m = make(map[flightKey]*flightCall)
+	}
+	if c, ok := g.m[key]; ok {
+		g.mu.Unlock()
+		c.wg.Wait()
+		return c.err, true
+	}
+	c := &flightCall{}
+	c.wg.Add(1)
+	g.m[key] = c
+	g.mu.Unlock()
+
+	c.err = fn()
+
+	g.mu.Lock()
+	delete(g.m, key)
+	g.mu.Unlock()
+	c.wg.Done()
+	return c.err, false
+}
