@@ -1,10 +1,11 @@
 # Development targets. `make tier1` is the PR gate: vet + build + full test
 # suite, plus the race detector on the concurrency-heavy packages (the HTTP
-# prototype's proxy/origin, the load-balancer model, and the cache).
+# prototype's proxy/origin, the load-balancer model, the cache, the parallel
+# evaluation engine, and the experiment drivers that fan out over it).
 
 GO ?= go
 
-.PHONY: tier1 vet build test race bench chaos
+.PHONY: tier1 vet build test race bench microbench chaos
 
 tier1: vet build test race
 
@@ -18,9 +19,14 @@ test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race ./internal/server ./internal/lb ./internal/cache
+	$(GO) test -race ./internal/server ./internal/lb ./internal/cache ./internal/par ./internal/core ./internal/exp
 
+# bench runs the reproducible performance harness (hot-path micro benchmarks
+# plus serial-vs-parallel sweep timings) and writes BENCH_<date>.json.
 bench:
+	$(GO) run ./cmd/bench
+
+microbench:
 	$(GO) test -bench . -run xxx -benchtime 0.5s ./internal/server
 
 chaos:

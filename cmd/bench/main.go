@@ -1,0 +1,289 @@
+// Command bench is the reproducible performance harness for the simulator
+// and the parallel experiment engine. It times the request-serving hot path
+// (per eviction policy, plus the feature extractor, frequency trackers and
+// Bloom filters) with testing.Benchmark, then measures wall-clock for the
+// embarrassingly parallel sweeps (expert-grid evaluation, the Figure 2 panel
+// suite) serial vs parallel, asserting along the way that both paths produce
+// identical output. Results are written as machine-readable JSON so runs can
+// be diffed across commits; see the committed BENCH_*.json baselines.
+//
+// Usage:
+//
+//	bench                      # writes BENCH_<today>.json
+//	bench -out results.json -parallelism 8
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"testing"
+	"time"
+
+	"darwin/internal/bloom"
+	"darwin/internal/cache"
+	"darwin/internal/exp"
+	"darwin/internal/features"
+	"darwin/internal/par"
+	"darwin/internal/trace"
+)
+
+// Micro is one testing.Benchmark result over a single-threaded hot-path op.
+type Micro struct {
+	Name        string  `json:"name"`
+	Iterations  int     `json:"iterations"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	OpsPerSec   float64 `json:"ops_per_sec"`
+}
+
+// Sweep is one serial-vs-parallel wall-clock comparison of an experiment
+// driver, with an output-equivalence check.
+type Sweep struct {
+	Name            string  `json:"name"`
+	Tasks           int     `json:"tasks"`
+	SerialSeconds   float64 `json:"serial_seconds"`
+	ParallelSeconds float64 `json:"parallel_seconds"`
+	Speedup         float64 `json:"speedup"`
+	OutputIdentical bool    `json:"output_identical"`
+}
+
+// Report is the full benchmark record.
+type Report struct {
+	Date        string  `json:"date"`
+	GoVersion   string  `json:"go_version"`
+	GOOS        string  `json:"goos"`
+	GOARCH      string  `json:"goarch"`
+	NumCPU      int     `json:"num_cpu"`
+	GOMAXPROCS  int     `json:"gomaxprocs"`
+	Parallelism int     `json:"parallelism"`
+	Micro       []Micro `json:"micro"`
+	Sweeps      []Sweep `json:"sweeps"`
+}
+
+func main() {
+	var (
+		out         = flag.String("out", "", "output JSON path; empty selects BENCH_<date>.json")
+		parallelism = flag.Int("parallelism", runtime.NumCPU(), "worker count for the parallel side of sweep comparisons")
+	)
+	flag.Parse()
+
+	date := time.Now().Format("2006-01-02")
+	path := *out
+	if path == "" {
+		path = "BENCH_" + date + ".json"
+	}
+
+	rep := Report{
+		Date:        date,
+		GoVersion:   runtime.Version(),
+		GOOS:        runtime.GOOS,
+		GOARCH:      runtime.GOARCH,
+		NumCPU:      runtime.NumCPU(),
+		GOMAXPROCS:  runtime.GOMAXPROCS(0),
+		Parallelism: *parallelism,
+	}
+
+	tr, err := exp.SyntheticMix(50, 100_000, 7)
+	if err != nil {
+		fatal(err)
+	}
+
+	fmt.Println("== micro benchmarks (single-threaded hot path) ==")
+	for _, name := range []string{"lru", "fifo", "lfu", "s4lru", "gdsf"} {
+		rep.Micro = append(rep.Micro, micro("hierarchy-serve/"+name, benchServe(tr, name)))
+	}
+	rep.Micro = append(rep.Micro,
+		micro("features-observe", benchObserve(tr)),
+		micro("tracker-exact", benchTracker(tr, cache.NewExactTracker())),
+		micro("tracker-approx", benchTracker(tr, cache.NewApproxTracker(1<<16))),
+		micro("bloom-test-and-add-u64", benchBloom(tr)),
+	)
+	for _, m := range rep.Micro {
+		fmt.Printf("  %-28s %10.1f ns/op  %4d allocs/op  %8.0f ops/s\n",
+			m.Name, m.NsPerOp, m.AllocsPerOp, m.OpsPerSec)
+	}
+
+	fmt.Printf("\n== sweeps (serial vs %d workers) ==\n", *parallelism)
+	sw, err := sweepEvaluateAll(tr, *parallelism)
+	if err != nil {
+		fatal(err)
+	}
+	rep.Sweeps = append(rep.Sweeps, sw)
+	sw, err = sweepFig2(*parallelism)
+	if err != nil {
+		fatal(err)
+	}
+	rep.Sweeps = append(rep.Sweeps, sw)
+	for _, s := range rep.Sweeps {
+		fmt.Printf("  %-20s %2d tasks  serial %6.2fs  parallel %6.2fs  speedup %.2fx  identical=%v\n",
+			s.Name, s.Tasks, s.SerialSeconds, s.ParallelSeconds, s.Speedup, s.OutputIdentical)
+		if !s.OutputIdentical {
+			fatal(fmt.Errorf("sweep %s: parallel output differs from serial", s.Name))
+		}
+	}
+
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fatal(err)
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("\nwrote %s\n", path)
+}
+
+func micro(name string, r testing.BenchmarkResult) Micro {
+	ns := float64(r.T.Nanoseconds()) / float64(r.N)
+	return Micro{
+		Name:        name,
+		Iterations:  r.N,
+		NsPerOp:     ns,
+		AllocsPerOp: r.AllocsPerOp(),
+		BytesPerOp:  r.AllocedBytesPerOp(),
+		OpsPerSec:   1e9 / ns,
+	}
+}
+
+// benchServe times Hierarchy.Serve with the given eviction policy at both
+// levels, replaying a pre-generated trace so request generation stays out of
+// the measured loop.
+func benchServe(tr *trace.Trace, eviction string) testing.BenchmarkResult {
+	return testing.Benchmark(func(b *testing.B) {
+		h, err := cache.New(cache.Config{
+			HOCBytes:    256 << 10,
+			DCBytes:     32 << 20,
+			HOCEviction: eviction,
+			DCEviction:  eviction,
+			Expert:      cache.Expert{Freq: 2, MaxSize: 64 << 10},
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		reqs := tr.Requests
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			h.Serve(reqs[i%len(reqs)])
+		}
+	})
+}
+
+func benchObserve(tr *trace.Trace) testing.BenchmarkResult {
+	return testing.Benchmark(func(b *testing.B) {
+		ex, err := features.NewExtractor(features.DefaultConfig())
+		if err != nil {
+			b.Fatal(err)
+		}
+		reqs := tr.Requests
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			ex.Observe(reqs[i%len(reqs)])
+		}
+	})
+}
+
+func benchTracker(tr *trace.Trace, t cache.FrequencyTracker) testing.BenchmarkResult {
+	return testing.Benchmark(func(b *testing.B) {
+		reqs := tr.Requests
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			t.Observe(reqs[i%len(reqs)].ID, int64(i))
+		}
+	})
+}
+
+func benchBloom(tr *trace.Trace) testing.BenchmarkResult {
+	return testing.Benchmark(func(b *testing.B) {
+		f := bloom.New(1<<20, 0.01)
+		reqs := tr.Requests
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			f.TestAndAddU64(reqs[i%len(reqs)].ID)
+		}
+	})
+}
+
+// sweepEvaluateAll times the expert-grid evaluation (the inner loop of
+// Darwin's offline phase) serial vs parallel and verifies the metrics match
+// exactly.
+func sweepEvaluateAll(tr *trace.Trace, parallelism int) (Sweep, error) {
+	sc := exp.Small()
+	experts := sc.Experts
+	cfg := sc.Eval
+
+	start := time.Now()
+	serial, err := cache.EvaluateAllParallel(tr, experts, cfg, 1)
+	if err != nil {
+		return Sweep{}, err
+	}
+	serialDur := time.Since(start)
+
+	start = time.Now()
+	parallel, err := cache.EvaluateAllParallel(tr, experts, cfg, parallelism)
+	if err != nil {
+		return Sweep{}, err
+	}
+	parallelDur := time.Since(start)
+
+	identical := len(serial) == len(parallel)
+	for i := 0; identical && i < len(serial); i++ {
+		identical = serial[i] == parallel[i]
+	}
+	return Sweep{
+		Name:            "evaluate-all-grid",
+		Tasks:           len(experts),
+		SerialSeconds:   serialDur.Seconds(),
+		ParallelSeconds: parallelDur.Seconds(),
+		Speedup:         serialDur.Seconds() / parallelDur.Seconds(),
+		OutputIdentical: identical,
+	}, nil
+}
+
+// sweepFig2 times the Figure 2 panel suite at benchmark scale serial vs
+// parallel and verifies the rendered reports match byte for byte.
+func sweepFig2(parallelism int) (Sweep, error) {
+	run := func(p int) (string, time.Duration, error) {
+		prev := par.SetDefault(p)
+		defer par.SetDefault(prev)
+		start := time.Now()
+		reps, err := exp.Fig2Suite(exp.Small())
+		if err != nil {
+			return "", 0, err
+		}
+		var out string
+		for _, r := range reps {
+			out += r.String() + "\n"
+		}
+		return out, time.Since(start), nil
+	}
+
+	serialOut, serialDur, err := run(1)
+	if err != nil {
+		return Sweep{}, err
+	}
+	parallelOut, parallelDur, err := run(parallelism)
+	if err != nil {
+		return Sweep{}, err
+	}
+	return Sweep{
+		Name:            "fig2-suite",
+		Tasks:           5,
+		SerialSeconds:   serialDur.Seconds(),
+		ParallelSeconds: parallelDur.Seconds(),
+		Speedup:         serialDur.Seconds() / parallelDur.Seconds(),
+		OutputIdentical: serialOut == parallelOut,
+	}, nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "bench:", err)
+	os.Exit(1)
+}

@@ -13,11 +13,13 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 
 	"darwin/internal/baselines"
 	"darwin/internal/cache"
 	"darwin/internal/core"
 	"darwin/internal/exp"
+	"darwin/internal/par"
 	"darwin/internal/trace"
 )
 
@@ -33,9 +35,11 @@ func main() {
 		objective = flag.String("objective", "ohr", "darwin objective: ohr | bmr | combined")
 		n         = flag.Int("n", 200000, "synthetic trace length when -trace is empty")
 		seed      = flag.Int64("seed", 7, "synthetic trace seed")
-		modelPath = flag.String("model", "", "pre-trained model from darwin-train (darwin policy only; skips offline training)")
+		modelPath   = flag.String("model", "", "pre-trained model from darwin-train (darwin policy only; skips offline training)")
+		parallelism = flag.Int("parallelism", runtime.NumCPU(), "worker count for offline training sweeps; 1 forces the serial path")
 	)
 	flag.Parse()
+	par.SetDefault(*parallelism)
 
 	tr, err := loadTrace(*tracePath, *n, *seed)
 	if err != nil {

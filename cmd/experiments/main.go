@@ -14,19 +14,23 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strings"
 	"time"
 
 	"darwin/internal/exp"
 	"darwin/internal/features"
+	"darwin/internal/par"
 )
 
 func main() {
 	var (
-		scaleName = flag.String("scale", "small", "small | default")
-		only      = flag.String("only", "", "comma-separated experiment ids (e.g. fig2,fig4a,table2); empty runs all")
+		scaleName   = flag.String("scale", "small", "small | default")
+		only        = flag.String("only", "", "comma-separated experiment ids (e.g. fig2,fig4a,table2); empty runs all")
+		parallelism = flag.Int("parallelism", runtime.NumCPU(), "worker count for sweep evaluation; 1 forces the serial path")
 	)
 	flag.Parse()
+	par.SetDefault(*parallelism)
 
 	var sc exp.Scale
 	switch *scaleName {

@@ -55,6 +55,30 @@ func hash2(key string) (uint64, uint64) {
 	return h1, h2
 }
 
+// FNV-1a constants (hash/fnv), inlined for the allocation-free uint64 path.
+const (
+	fnvOffset64 = 14695981039346656037
+	fnvPrime64  = 1099511628211
+)
+
+// hash2U64 is hash2 over the 8 little-endian bytes of id, computed inline so
+// the cache's per-request probes allocate nothing. It is bit-identical to
+// hash2(string(le8(id))), which the simulator hot path used to call — the
+// probe positions, and therefore every recorded metric, are unchanged.
+func hash2U64(id uint64) (uint64, uint64) {
+	h := uint64(fnvOffset64)
+	for i := 0; i < 64; i += 8 {
+		h ^= (id >> i) & 0xff
+		h *= fnvPrime64
+	}
+	h1 := h
+	for _, b := range [4]uint64{0x9e, 0x37, 0x79, 0xb9} {
+		h ^= b
+		h *= fnvPrime64
+	}
+	return h1, h | 1
+}
+
 // Add inserts key into the filter.
 func (f *Filter) Add(key string) {
 	h1, h2 := hash2(key)
@@ -82,6 +106,46 @@ func (f *Filter) Contains(key string) bool {
 func (f *Filter) TestAndAdd(key string) bool {
 	present := f.Contains(key)
 	f.Add(key)
+	return present
+}
+
+// AddU64 inserts a uint64 key without allocating. Equivalent to Add on the
+// key's 8 little-endian bytes.
+func (f *Filter) AddU64(id uint64) {
+	h1, h2 := hash2U64(id)
+	for i := 0; i < f.k; i++ {
+		pos := (h1 + uint64(i)*h2) % f.m
+		f.bits[pos/64] |= 1 << (pos % 64)
+	}
+	f.count++
+}
+
+// ContainsU64 reports membership of a uint64 key without allocating.
+func (f *Filter) ContainsU64(id uint64) bool {
+	h1, h2 := hash2U64(id)
+	for i := 0; i < f.k; i++ {
+		pos := (h1 + uint64(i)*h2) % f.m
+		if f.bits[pos/64]&(1<<(pos%64)) == 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// TestAndAddU64 reports whether the uint64 key was (probably) present and
+// inserts it, computing the probe positions once.
+func (f *Filter) TestAndAddU64(id uint64) bool {
+	h1, h2 := hash2U64(id)
+	present := true
+	for i := 0; i < f.k; i++ {
+		pos := (h1 + uint64(i)*h2) % f.m
+		word, bit := pos/64, uint64(1)<<(pos%64)
+		if f.bits[word]&bit == 0 {
+			present = false
+			f.bits[word] |= bit
+		}
+	}
+	f.count++
 	return present
 }
 
@@ -125,6 +189,37 @@ func (c *Counting) Increment(key string) uint32 {
 		if c.counters[pos] != math.MaxUint32 {
 			c.counters[pos]++
 		}
+		if c.counters[pos] < min {
+			min = c.counters[pos]
+		}
+	}
+	return min
+}
+
+// IncrementU64 adds one to a uint64 key's count without allocating and
+// returns the new estimate. Equivalent to Increment on the key's 8
+// little-endian bytes.
+func (c *Counting) IncrementU64(id uint64) uint32 {
+	h1, h2 := hash2U64(id)
+	min := uint32(math.MaxUint32)
+	for i := 0; i < c.k; i++ {
+		pos := (h1 + uint64(i)*h2) % c.m
+		if c.counters[pos] != math.MaxUint32 {
+			c.counters[pos]++
+		}
+		if c.counters[pos] < min {
+			min = c.counters[pos]
+		}
+	}
+	return min
+}
+
+// EstimateU64 returns an upper bound on a uint64 key's count, allocation-free.
+func (c *Counting) EstimateU64(id uint64) uint32 {
+	h1, h2 := hash2U64(id)
+	min := uint32(math.MaxUint32)
+	for i := 0; i < c.k; i++ {
+		pos := (h1 + uint64(i)*h2) % c.m
 		if c.counters[pos] < min {
 			min = c.counters[pos]
 		}

@@ -153,3 +153,71 @@ func BenchmarkCountingIncrement(b *testing.B) {
 		c.Increment(keys[i%len(keys)])
 	}
 }
+
+// leKey is the 8-little-endian-byte string encoding the uint64 hot path
+// replaced; the U64 methods must be bit-identical to the string methods on it.
+func leKey(id uint64) string {
+	var b [8]byte
+	for i := 0; i < 8; i++ {
+		b[i] = byte(id >> (8 * i))
+	}
+	return string(b[:])
+}
+
+func TestHash2U64MatchesStringHash(t *testing.T) {
+	ids := []uint64{0, 1, 0xff, 1 << 32, 0xdeadbeefcafebabe, ^uint64(0)}
+	for i := uint64(0); i < 1000; i++ {
+		ids = append(ids, i*2654435761)
+	}
+	for _, id := range ids {
+		wh1, wh2 := hash2(leKey(id))
+		gh1, gh2 := hash2U64(id)
+		if gh1 != wh1 || gh2 != wh2 {
+			t.Fatalf("hash2U64(%#x) = (%#x,%#x), want (%#x,%#x)", id, gh1, gh2, wh1, wh2)
+		}
+	}
+}
+
+func TestFilterU64MatchesString(t *testing.T) {
+	fs := New(1<<12, 0.01)
+	fu := New(1<<12, 0.01)
+	for i := uint64(0); i < 500; i++ {
+		id := i * 0x9e3779b97f4a7c15
+		if got, want := fu.TestAndAddU64(id), fs.TestAndAdd(leKey(id)); got != want {
+			t.Fatalf("TestAndAddU64(%#x) = %v, want %v", id, got, want)
+		}
+	}
+	for i := uint64(0); i < 500; i++ {
+		id := i * 0x9e3779b97f4a7c15
+		if got, want := fu.ContainsU64(id), fs.Contains(leKey(id)); got != want {
+			t.Fatalf("ContainsU64(%#x) = %v, want %v", id, got, want)
+		}
+		if !fu.ContainsU64(id) {
+			t.Fatalf("false negative for %#x", id)
+		}
+	}
+	fu2 := New(1<<12, 0.01)
+	for i := uint64(0); i < 500; i++ {
+		fu2.AddU64(i)
+		if !fu2.ContainsU64(i) {
+			t.Fatalf("AddU64 then ContainsU64(%d) = false", i)
+		}
+	}
+}
+
+func TestCountingU64MatchesString(t *testing.T) {
+	cs := NewCounting(1<<12, 0.01)
+	cu := NewCounting(1<<12, 0.01)
+	for round := 0; round < 3; round++ {
+		for i := uint64(0); i < 300; i++ {
+			if got, want := cu.IncrementU64(i), cs.Increment(leKey(i)); got != want {
+				t.Fatalf("IncrementU64(%d) = %d, want %d", i, got, want)
+			}
+		}
+	}
+	for i := uint64(0); i < 300; i++ {
+		if got, want := cu.EstimateU64(i), cs.Estimate(leKey(i)); got != want {
+			t.Fatalf("EstimateU64(%d) = %d, want %d", i, got, want)
+		}
+	}
+}

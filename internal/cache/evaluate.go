@@ -1,6 +1,11 @@
 package cache
 
-import "darwin/internal/trace"
+import (
+	"fmt"
+
+	"darwin/internal/par"
+	"darwin/internal/trace"
+)
 
 // EvalConfig configures a single-expert trace evaluation.
 type EvalConfig struct {
@@ -47,15 +52,28 @@ func Evaluate(tr *trace.Trace, e Expert, cfg EvalConfig) (Metrics, error) {
 }
 
 // EvaluateAll evaluates every expert on tr and returns the metrics in expert
-// order. Each expert gets an independent, cold hierarchy.
+// order. Each expert gets an independent, cold hierarchy, so the evaluations
+// fan out over the engine's worker pool (par.Default() wide) with results
+// bit-identical to the serial loop. Failures are aggregated: the returned
+// error names every expert that failed, not just the first.
 func EvaluateAll(tr *trace.Trace, experts []Expert, cfg EvalConfig) ([]Metrics, error) {
+	return EvaluateAllParallel(tr, experts, cfg, 0)
+}
+
+// EvaluateAllParallel is EvaluateAll with an explicit worker-pool width;
+// parallelism <= 0 selects par.Default(), 1 runs the reference serial path.
+func EvaluateAllParallel(tr *trace.Trace, experts []Expert, cfg EvalConfig, parallelism int) ([]Metrics, error) {
 	out := make([]Metrics, len(experts))
-	for i, e := range experts {
-		m, err := Evaluate(tr, e, cfg)
+	err := par.ForEach(len(experts), parallelism, func(i int) error {
+		m, err := Evaluate(tr, experts[i], cfg)
 		if err != nil {
-			return nil, err
+			return fmt.Errorf("expert %s: %w", experts[i], err)
 		}
 		out[i] = m
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return out, nil
 }

@@ -2,6 +2,7 @@ package cache
 
 import (
 	"math"
+	"strings"
 	"testing"
 
 	"darwin/internal/trace"
@@ -136,5 +137,51 @@ func TestImageTracePreferHigherFreq(t *testing.T) {
 	if small.OHR() <= huge.OHR() {
 		t.Fatalf("image trace: selective expert OHR %.4f should beat permissive %.4f",
 			small.OHR(), huge.OHR())
+	}
+}
+
+// TestEvaluateAllSerialParallelIdentical is the golden equivalence check for
+// the engine-backed expert sweep: every expert replays an independent cold
+// hierarchy, so worker scheduling must not change a single counter.
+func TestEvaluateAllSerialParallelIdentical(t *testing.T) {
+	tr, err := tracegen.ImageDownloadMix(50, 20_000, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	experts := Grid([]int{1, 2, 3}, []int64{2 << 10, 50 << 10, 1 << 20})
+	cfg := EvalConfig{HOCBytes: 128 << 10, DCBytes: 8 << 20, WarmupFrac: 0.1}
+
+	serial, err := EvaluateAllParallel(tr, experts, cfg, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range []int{2, 4, 16} {
+		got, err := EvaluateAllParallel(tr, experts, cfg, p)
+		if err != nil {
+			t.Fatalf("parallelism %d: %v", p, err)
+		}
+		for i := range serial {
+			if got[i] != serial[i] {
+				t.Fatalf("parallelism %d: expert %s metrics diverge:\n got %+v\nwant %+v",
+					p, experts[i], got[i], serial[i])
+			}
+		}
+	}
+}
+
+// TestEvaluateAllAggregatesErrors verifies the sweep reports every failing
+// expert with its identity, not just the first failure.
+func TestEvaluateAllAggregatesErrors(t *testing.T) {
+	tr := &trace.Trace{Name: "t", Requests: []trace.Request{{ID: 1, Size: 100}}}
+	experts := Grid([]int{1, 2}, []int64{1 << 10})
+	// Invalid capacities make every expert evaluation fail.
+	_, err := EvaluateAll(tr, experts, EvalConfig{HOCBytes: 0, DCBytes: 0})
+	if err == nil {
+		t.Fatal("want error for zero capacities")
+	}
+	for _, e := range experts {
+		if !strings.Contains(err.Error(), "expert "+e.String()) {
+			t.Fatalf("aggregated error missing expert %s: %v", e, err)
+		}
 	}
 }

@@ -10,7 +10,6 @@ package cache
 
 import (
 	"container/heap"
-	"container/list"
 	"fmt"
 )
 
@@ -21,6 +20,10 @@ type Eviction interface {
 	Insert(id uint64, size int64)
 	// Touch records a hit on a resident object.
 	Touch(id uint64)
+	// Hit is the combined Contains+Touch fast path of the request loop: it
+	// touches id if resident and reports whether it was resident, with a
+	// single index lookup.
+	Hit(id uint64) bool
 	// Victim returns the next object to evict without removing it.
 	// ok is false when the policy tracks no objects.
 	Victim() (id uint64, size int64, ok bool)
@@ -46,59 +49,68 @@ type ResidentObject struct {
 	Size int64
 }
 
-// entry is a resident object record shared by the list-based policies.
-type entry struct {
-	id   uint64
-	size int64
-}
-
-// LRU evicts the least recently used object.
+// LRU evicts the least recently used object. Resident objects live in a
+// slab-backed intrusive list (see nodeArena), so steady-state churn is
+// allocation-free.
 type LRU struct {
-	ll    *list.List // front = most recent
-	index map[uint64]*list.Element
+	arena *nodeArena
+	list  int32 // sentinel: front = most recent
+	index map[uint64]int32
 	bytes int64
 }
 
 // NewLRU returns an empty LRU policy.
 func NewLRU() *LRU {
-	return &LRU{ll: list.New(), index: make(map[uint64]*list.Element)}
+	a := newNodeArena(64)
+	return &LRU{arena: a, list: a.newList(), index: make(map[uint64]int32)}
 }
 
 // Insert implements Eviction. Inserting an existing id refreshes its recency
 // and updates its size.
 func (l *LRU) Insert(id uint64, size int64) {
-	if el, ok := l.index[id]; ok {
-		l.bytes += size - el.Value.(*entry).size
-		el.Value.(*entry).size = size
-		l.ll.MoveToFront(el)
+	if i, ok := l.index[id]; ok {
+		l.bytes += size - l.arena.nodes[i].size
+		l.arena.nodes[i].size = size
+		l.arena.moveToFront(l.list, i)
 		return
 	}
-	l.index[id] = l.ll.PushFront(&entry{id: id, size: size})
+	i := l.arena.alloc(id, size)
+	l.arena.pushFront(l.list, i)
+	l.index[id] = i
 	l.bytes += size
 }
 
 // Touch implements Eviction.
 func (l *LRU) Touch(id uint64) {
-	if el, ok := l.index[id]; ok {
-		l.ll.MoveToFront(el)
+	if i, ok := l.index[id]; ok {
+		l.arena.moveToFront(l.list, i)
 	}
+}
+
+// Hit implements Eviction.
+func (l *LRU) Hit(id uint64) bool {
+	i, ok := l.index[id]
+	if ok {
+		l.arena.moveToFront(l.list, i)
+	}
+	return ok
 }
 
 // Victim implements Eviction.
 func (l *LRU) Victim() (uint64, int64, bool) {
-	el := l.ll.Back()
-	if el == nil {
+	i := l.arena.back(l.list)
+	if i == nilNode {
 		return 0, 0, false
 	}
-	e := el.Value.(*entry)
-	return e.id, e.size, true
+	return l.arena.nodes[i].id, l.arena.nodes[i].size, true
 }
 
 // Remove implements Eviction.
 func (l *LRU) Remove(id uint64) {
-	if el, ok := l.index[id]; ok {
-		l.bytes -= el.Value.(*entry).size
-		l.ll.Remove(el)
+	if i, ok := l.index[id]; ok {
+		l.bytes -= l.arena.nodes[i].size
+		l.arena.unlink(i)
+		l.arena.release(i)
 		delete(l.index, id)
 	}
 }
@@ -108,69 +120,71 @@ func (l *LRU) Contains(id uint64) bool { _, ok := l.index[id]; return ok }
 
 // Size implements Eviction.
 func (l *LRU) Size(id uint64) int64 {
-	if el, ok := l.index[id]; ok {
-		return el.Value.(*entry).size
+	if i, ok := l.index[id]; ok {
+		return l.arena.nodes[i].size
 	}
 	return 0
 }
 
 // Len implements Eviction.
-func (l *LRU) Len() int { return l.ll.Len() }
+func (l *LRU) Len() int { return len(l.index) }
 
 // Bytes implements Eviction.
 func (l *LRU) Bytes() int64 { return l.bytes }
 
 // Entries implements Eviction (victim-first: LRU tail first).
 func (l *LRU) Entries() []ResidentObject {
-	out := make([]ResidentObject, 0, l.ll.Len())
-	for el := l.ll.Back(); el != nil; el = el.Prev() {
-		e := el.Value.(*entry)
-		out = append(out, ResidentObject{ID: e.id, Size: e.size})
-	}
-	return out
+	return l.arena.appendVictimFirst(l.list, make([]ResidentObject, 0, len(l.index)))
 }
 
 // FIFO evicts in insertion order, ignoring hits.
 type FIFO struct {
-	ll    *list.List
-	index map[uint64]*list.Element
+	arena *nodeArena
+	list  int32
+	index map[uint64]int32
 	bytes int64
 }
 
 // NewFIFO returns an empty FIFO policy.
 func NewFIFO() *FIFO {
-	return &FIFO{ll: list.New(), index: make(map[uint64]*list.Element)}
+	a := newNodeArena(64)
+	return &FIFO{arena: a, list: a.newList(), index: make(map[uint64]int32)}
 }
 
 // Insert implements Eviction.
 func (f *FIFO) Insert(id uint64, size int64) {
-	if el, ok := f.index[id]; ok {
-		f.bytes += size - el.Value.(*entry).size
-		el.Value.(*entry).size = size
+	if i, ok := f.index[id]; ok {
+		f.bytes += size - f.arena.nodes[i].size
+		f.arena.nodes[i].size = size
 		return
 	}
-	f.index[id] = f.ll.PushFront(&entry{id: id, size: size})
+	i := f.arena.alloc(id, size)
+	f.arena.pushFront(f.list, i)
+	f.index[id] = i
 	f.bytes += size
 }
 
 // Touch implements Eviction; FIFO ignores hits.
 func (f *FIFO) Touch(uint64) {}
 
+// Hit implements Eviction; FIFO only reports presence.
+func (f *FIFO) Hit(id uint64) bool { _, ok := f.index[id]; return ok }
+
 // Victim implements Eviction.
 func (f *FIFO) Victim() (uint64, int64, bool) {
-	el := f.ll.Back()
-	if el == nil {
+	i := f.arena.back(f.list)
+	if i == nilNode {
 		return 0, 0, false
 	}
-	e := el.Value.(*entry)
-	return e.id, e.size, true
+	return f.arena.nodes[i].id, f.arena.nodes[i].size, true
 }
 
 // Remove implements Eviction.
 func (f *FIFO) Remove(id uint64) {
-	if el, ok := f.index[id]; ok {
-		f.bytes -= el.Value.(*entry).size
-		f.ll.Remove(el)
+	if i, ok := f.index[id]; ok {
+		f.bytes -= f.arena.nodes[i].size
+		f.arena.unlink(i)
+		f.arena.release(i)
 		delete(f.index, id)
 	}
 }
@@ -180,33 +194,30 @@ func (f *FIFO) Contains(id uint64) bool { _, ok := f.index[id]; return ok }
 
 // Size implements Eviction.
 func (f *FIFO) Size(id uint64) int64 {
-	if el, ok := f.index[id]; ok {
-		return el.Value.(*entry).size
+	if i, ok := f.index[id]; ok {
+		return f.arena.nodes[i].size
 	}
 	return 0
 }
 
 // Len implements Eviction.
-func (f *FIFO) Len() int { return f.ll.Len() }
+func (f *FIFO) Len() int { return len(f.index) }
 
 // Bytes implements Eviction.
 func (f *FIFO) Bytes() int64 { return f.bytes }
 
 // Entries implements Eviction (victim-first: oldest insert first).
 func (f *FIFO) Entries() []ResidentObject {
-	out := make([]ResidentObject, 0, f.ll.Len())
-	for el := f.ll.Back(); el != nil; el = el.Prev() {
-		e := el.Value.(*entry)
-		out = append(out, ResidentObject{ID: e.id, Size: e.size})
-	}
-	return out
+	return f.arena.appendVictimFirst(f.list, make([]ResidentObject, 0, len(f.index)))
 }
 
 // LFU evicts the least frequently used object, breaking ties by insertion
-// order (older first). Implemented as a min-heap keyed by (hits, seq).
+// order (older first). Implemented as a min-heap keyed by (hits, seq);
+// removed entries are pooled and reused so churn does not allocate.
 type LFU struct {
 	h     lfuHeap
 	index map[uint64]*lfuEntry
+	pool  []*lfuEntry
 	bytes int64
 	seq   uint64
 }
@@ -261,7 +272,14 @@ func (l *LFU) Insert(id uint64, size int64) {
 		return
 	}
 	l.seq++
-	e := &lfuEntry{id: id, size: size, seq: l.seq}
+	var e *lfuEntry
+	if n := len(l.pool); n > 0 {
+		e = l.pool[n-1]
+		l.pool = l.pool[:n-1]
+	} else {
+		e = new(lfuEntry)
+	}
+	*e = lfuEntry{id: id, size: size, seq: l.seq}
 	l.index[id] = e
 	heap.Push(&l.h, e)
 	l.bytes += size
@@ -273,6 +291,16 @@ func (l *LFU) Touch(id uint64) {
 		e.hits++
 		heap.Fix(&l.h, e.index)
 	}
+}
+
+// Hit implements Eviction.
+func (l *LFU) Hit(id uint64) bool {
+	e, ok := l.index[id]
+	if ok {
+		e.hits++
+		heap.Fix(&l.h, e.index)
+	}
+	return ok
 }
 
 // Victim implements Eviction.
@@ -289,6 +317,7 @@ func (l *LFU) Remove(id uint64) {
 		l.bytes -= e.size
 		heap.Remove(&l.h, e.index)
 		delete(l.index, id)
+		l.pool = append(l.pool, e)
 	}
 }
 

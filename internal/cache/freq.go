@@ -14,41 +14,44 @@ type FrequencyTracker interface {
 	Reset()
 }
 
-// ExactTracker keeps exact per-object counts and last-seen indices in maps.
-// This is the simulator default; production deployments would use the
+// ExactTracker keeps exact per-object counts and last-seen indices. Both live
+// in one map so the per-request Observe costs a single lookup plus a single
+// store. This is the simulator default; production deployments would use the
 // bounded-memory ApproxTracker.
 type ExactTracker struct {
-	counts   map[uint64]int
-	lastSeen map[uint64]int64
+	objects map[uint64]exactEntry
+}
+
+type exactEntry struct {
+	count    int
+	lastSeen int64
 }
 
 // NewExactTracker returns an empty exact tracker.
 func NewExactTracker() *ExactTracker {
-	return &ExactTracker{
-		counts:   make(map[uint64]int),
-		lastSeen: make(map[uint64]int64),
-	}
+	return &ExactTracker{objects: make(map[uint64]exactEntry)}
 }
 
 // Observe implements FrequencyTracker.
 func (t *ExactTracker) Observe(id uint64, idx int64) (int, int64) {
-	t.counts[id]++
+	e, ok := t.objects[id]
 	age := int64(-1)
-	if prev, ok := t.lastSeen[id]; ok {
-		age = idx - prev
+	if ok {
+		age = idx - e.lastSeen
 	}
-	t.lastSeen[id] = idx
-	return t.counts[id], age
+	e.count++
+	e.lastSeen = idx
+	t.objects[id] = e
+	return e.count, age
 }
 
 // Reset implements FrequencyTracker.
 func (t *ExactTracker) Reset() {
-	t.counts = make(map[uint64]int)
-	t.lastSeen = make(map[uint64]int64)
+	t.objects = make(map[uint64]exactEntry)
 }
 
 // Count returns the exact observed count for id.
-func (t *ExactTracker) Count(id uint64) int { return t.counts[id] }
+func (t *ExactTracker) Count(id uint64) int { return t.objects[id].count }
 
 // ApproxTracker bounds memory with a counting Bloom filter for counts and a
 // fixed-size last-seen table (random-replacement). Counts can only be
@@ -70,7 +73,7 @@ func NewApproxTracker(n int) *ApproxTracker {
 
 // Observe implements FrequencyTracker.
 func (t *ApproxTracker) Observe(id uint64, idx int64) (int, int64) {
-	c := t.counting.Increment(key(id))
+	c := t.counting.IncrementU64(id)
 	age := int64(-1)
 	if prev, ok := t.lastSeen[id]; ok {
 		age = idx - prev
@@ -91,12 +94,4 @@ func (t *ApproxTracker) Observe(id uint64, idx int64) (int, int64) {
 func (t *ApproxTracker) Reset() {
 	t.counting.Reset()
 	t.lastSeen = make(map[uint64]int64, t.maxLast)
-}
-
-func key(id uint64) string {
-	var b [8]byte
-	for i := 0; i < 8; i++ {
-		b[i] = byte(id >> (8 * i))
-	}
-	return string(b[:])
 }

@@ -11,6 +11,7 @@ import "container/heap"
 type GDSF struct {
 	h     gdsfHeap
 	index map[uint64]*gdsfEntry
+	pool  []*gdsfEntry
 	bytes int64
 	l     float64 // inflation
 	seq   uint64
@@ -74,7 +75,14 @@ func (g *GDSF) Insert(id uint64, size int64) {
 		return
 	}
 	g.seq++
-	e := &gdsfEntry{id: id, size: size, freq: 1, seq: g.seq}
+	var e *gdsfEntry
+	if n := len(g.pool); n > 0 {
+		e = g.pool[n-1]
+		g.pool = g.pool[:n-1]
+	} else {
+		e = new(gdsfEntry)
+	}
+	*e = gdsfEntry{id: id, size: size, freq: 1, seq: g.seq}
 	e.prio = g.priority(e.freq, size)
 	g.index[id] = e
 	heap.Push(&g.h, e)
@@ -88,6 +96,17 @@ func (g *GDSF) Touch(id uint64) {
 		e.prio = g.priority(e.freq, e.size)
 		heap.Fix(&g.h, e.index)
 	}
+}
+
+// Hit implements Eviction.
+func (g *GDSF) Hit(id uint64) bool {
+	e, ok := g.index[id]
+	if ok {
+		e.freq++
+		e.prio = g.priority(e.freq, e.size)
+		heap.Fix(&g.h, e.index)
+	}
+	return ok
 }
 
 // Victim implements Eviction.
@@ -111,6 +130,7 @@ func (g *GDSF) Remove(id uint64) {
 	g.bytes -= e.size
 	heap.Remove(&g.h, e.index)
 	delete(g.index, id)
+	g.pool = append(g.pool, e)
 }
 
 // Contains implements Eviction.

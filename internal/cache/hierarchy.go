@@ -221,15 +221,13 @@ func (h *Hierarchy) Serve(r trace.Request) Result {
 	h.m.Requests++
 	h.m.Bytes += r.Size
 
-	if h.hoc.Contains(r.ID) {
-		h.hoc.Touch(r.ID)
+	if h.hoc.Hit(r.ID) {
 		h.m.HOCHits++
 		h.m.HOCHitBytes += r.Size
 		return HOCHit
 	}
 
-	if h.dc.Contains(r.ID) {
-		h.dc.Touch(r.ID)
+	if h.dc.Hit(r.ID) {
 		h.m.DCHits++
 		h.m.DCHitBytes += r.Size
 		// Promotion into the HOC is governed by the deployed expert (or a
@@ -248,7 +246,7 @@ func (h *Hierarchy) Serve(r trace.Request) Result {
 	// admitting only objects previously recorded in the Bloom filter (§2.2).
 	h.m.Misses++
 	h.m.MissBytes += r.Size
-	if h.seen.TestAndAdd(key(r.ID)) {
+	if h.seen.TestAndAddU64(r.ID) {
 		h.admitDC(r.ID, r.Size)
 	}
 	if h.admitOnMiss && h.admission != nil && h.admission(count, r.Size, age) {

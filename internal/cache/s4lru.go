@@ -1,7 +1,5 @@
 package cache
 
-import "container/list"
-
 // S4LRU is the segmented LRU policy with four queues used by several
 // production CDNs (cf. Huang et al., "An Analysis of Facebook Photo
 // Caching"): objects enter the lowest segment; a hit promotes an object one
@@ -9,10 +7,12 @@ import "container/list"
 // *object-count budget* worth of recency, with overflowing heads demoted to
 // the segment below. Eviction takes the LRU tail of the lowest non-empty
 // segment. It is provided as an eviction ablation against the paper's LRU
-// default.
+// default. All four segments share one slab-backed node arena, so promotion
+// and demotion re-link nodes without allocating.
 type S4LRU struct {
-	segs  [4]*list.List // index 0 = lowest; front = most recent
-	index map[uint64]*s4Entry
+	arena *nodeArena
+	segs  [4]int32 // sentinel per segment; index 0 = lowest; front = most recent
+	index map[uint64]s4Pos
 	bytes int64
 	// segBytes tracks per-segment resident bytes; each segment is balanced
 	// to at most 1/4 of total bytes on insertion/promotion.
@@ -20,57 +20,62 @@ type S4LRU struct {
 	capHint  int64
 }
 
-type s4Entry struct {
-	id   uint64
-	size int64
-	seg  int
-	el   *list.Element
+// s4Pos locates a resident object: its arena node and current segment.
+type s4Pos struct {
+	node int32
+	seg  int8
 }
 
 // NewS4LRU returns an empty segmented-LRU policy. capHint bounds per-segment
 // bytes to capHint/4; a zero hint disables segment balancing (segments then
 // only bound each other through demotion on eviction pressure).
 func NewS4LRU(capHint int64) *S4LRU {
-	s := &S4LRU{index: make(map[uint64]*s4Entry), capHint: capHint}
+	s := &S4LRU{arena: newNodeArena(64), index: make(map[uint64]s4Pos), capHint: capHint}
 	for i := range s.segs {
-		s.segs[i] = list.New()
+		s.segs[i] = s.arena.newList()
 	}
 	return s
 }
 
 // Insert implements Eviction: new objects enter segment 0.
 func (s *S4LRU) Insert(id uint64, size int64) {
-	if e, ok := s.index[id]; ok {
-		s.bytes += size - e.size
-		s.segBytes[e.seg] += size - e.size
-		e.size = size
-		s.segs[e.seg].MoveToFront(e.el)
+	if p, ok := s.index[id]; ok {
+		old := s.arena.nodes[p.node].size
+		s.bytes += size - old
+		s.segBytes[p.seg] += size - old
+		s.arena.nodes[p.node].size = size
+		s.arena.moveToFront(s.segs[p.seg], p.node)
 		return
 	}
-	e := &s4Entry{id: id, size: size, seg: 0}
-	e.el = s.segs[0].PushFront(e)
-	s.index[id] = e
+	i := s.arena.alloc(id, size)
+	s.arena.pushFront(s.segs[0], i)
+	s.index[id] = s4Pos{node: i, seg: 0}
 	s.bytes += size
 	s.segBytes[0] += size
 	s.balance(0)
 }
 
 // Touch implements Eviction: hits promote one segment up.
-func (s *S4LRU) Touch(id uint64) {
-	e, ok := s.index[id]
+func (s *S4LRU) Touch(id uint64) { s.Hit(id) }
+
+// Hit implements Eviction.
+func (s *S4LRU) Hit(id uint64) bool {
+	p, ok := s.index[id]
 	if !ok {
-		return
+		return false
 	}
-	target := e.seg
+	target := p.seg
 	if target < 3 {
 		target++
 	}
-	s.segs[e.seg].Remove(e.el)
-	s.segBytes[e.seg] -= e.size
-	e.seg = target
-	e.el = s.segs[target].PushFront(e)
-	s.segBytes[target] += e.size
-	s.balance(target)
+	size := s.arena.nodes[p.node].size
+	s.arena.unlink(p.node)
+	s.segBytes[p.seg] -= size
+	s.arena.pushFront(s.segs[target], p.node)
+	s.segBytes[target] += size
+	s.index[id] = s4Pos{node: p.node, seg: target}
+	s.balance(int(target))
+	return true
 }
 
 // balance demotes LRU tails of over-budget segments downward.
@@ -81,26 +86,25 @@ func (s *S4LRU) balance(from int) {
 	budget := s.capHint / 4
 	for seg := from; seg >= 1; seg-- {
 		for s.segBytes[seg] > budget {
-			el := s.segs[seg].Back()
-			if el == nil {
+			i := s.arena.back(s.segs[seg])
+			if i == nilNode {
 				break
 			}
-			e := el.Value.(*s4Entry)
-			s.segs[seg].Remove(el)
-			s.segBytes[seg] -= e.size
-			e.seg = seg - 1
-			e.el = s.segs[seg-1].PushFront(e)
-			s.segBytes[seg-1] += e.size
+			id, size := s.arena.nodes[i].id, s.arena.nodes[i].size
+			s.arena.unlink(i)
+			s.segBytes[seg] -= size
+			s.arena.pushFront(s.segs[seg-1], i)
+			s.segBytes[seg-1] += size
+			s.index[id] = s4Pos{node: i, seg: int8(seg - 1)}
 		}
 	}
 }
 
 // Victim implements Eviction: the LRU tail of the lowest non-empty segment.
 func (s *S4LRU) Victim() (uint64, int64, bool) {
-	for _, seg := range s.segs {
-		if el := seg.Back(); el != nil {
-			e := el.Value.(*s4Entry)
-			return e.id, e.size, true
+	for _, list := range s.segs {
+		if i := s.arena.back(list); i != nilNode {
+			return s.arena.nodes[i].id, s.arena.nodes[i].size, true
 		}
 	}
 	return 0, 0, false
@@ -108,13 +112,15 @@ func (s *S4LRU) Victim() (uint64, int64, bool) {
 
 // Remove implements Eviction.
 func (s *S4LRU) Remove(id uint64) {
-	e, ok := s.index[id]
+	p, ok := s.index[id]
 	if !ok {
 		return
 	}
-	s.segs[e.seg].Remove(e.el)
-	s.segBytes[e.seg] -= e.size
-	s.bytes -= e.size
+	size := s.arena.nodes[p.node].size
+	s.arena.unlink(p.node)
+	s.arena.release(p.node)
+	s.segBytes[p.seg] -= size
+	s.bytes -= size
 	delete(s.index, id)
 }
 
@@ -123,8 +129,8 @@ func (s *S4LRU) Contains(id uint64) bool { _, ok := s.index[id]; return ok }
 
 // Size implements Eviction.
 func (s *S4LRU) Size(id uint64) int64 {
-	if e, ok := s.index[id]; ok {
-		return e.size
+	if p, ok := s.index[id]; ok {
+		return s.arena.nodes[p.node].size
 	}
 	return 0
 }
@@ -138,11 +144,8 @@ func (s *S4LRU) Bytes() int64 { return s.bytes }
 // Entries implements Eviction (victim-first: lowest segment tails first).
 func (s *S4LRU) Entries() []ResidentObject {
 	out := make([]ResidentObject, 0, len(s.index))
-	for _, seg := range s.segs {
-		for el := seg.Back(); el != nil; el = el.Prev() {
-			e := el.Value.(*s4Entry)
-			out = append(out, ResidentObject{ID: e.id, Size: e.size})
-		}
+	for _, list := range s.segs {
+		out = s.arena.appendVictimFirst(list, out)
 	}
 	return out
 }

@@ -2,11 +2,10 @@ package core
 
 import (
 	"fmt"
-	"runtime"
-	"sync"
 
 	"darwin/internal/cache"
 	"darwin/internal/features"
+	"darwin/internal/par"
 	"darwin/internal/trace"
 )
 
@@ -60,7 +59,8 @@ type DatasetConfig struct {
 	// censored by the observation window, so mixing window lengths between
 	// training and deployment systematically shifts cluster assignment.
 	FeatureWindow int
-	// Parallelism bounds concurrent trace evaluations (default NumCPU).
+	// Parallelism bounds concurrent trace evaluations; <= 0 selects the
+	// engine default (par.Default(), i.e. NumCPU or the -parallelism flag).
 	Parallelism int
 }
 
@@ -73,9 +73,6 @@ func (c DatasetConfig) withDefaults() DatasetConfig {
 	}
 	if c.Features == (features.Config{}) {
 		c.Features = features.DefaultConfig()
-	}
-	if c.Parallelism <= 0 {
-		c.Parallelism = runtime.NumCPU()
 	}
 	return c
 }
@@ -102,31 +99,19 @@ func BuildDataset(traces []*trace.Trace, cfg DatasetConfig) (*Dataset, error) {
 		FeatureWindow: cfg.FeatureWindow,
 		Records:       make([]*TraceRecord, len(traces)),
 	}
-	var (
-		wg   sync.WaitGroup
-		sem  = make(chan struct{}, cfg.Parallelism)
-		mu   sync.Mutex
-		fail error
-	)
-	for ti, tr := range traces {
-		wg.Add(1)
-		go func(ti int, tr *trace.Trace) {
-			defer wg.Done()
-			sem <- struct{}{}
-			defer func() { <-sem }()
-			rec, err := evaluateTrace(tr, cfg)
-			mu.Lock()
-			defer mu.Unlock()
-			if err != nil && fail == nil {
-				fail = fmt.Errorf("core: trace %s: %w", tr.Name, err)
-				return
-			}
-			ds.Records[ti] = rec
-		}(ti, tr)
-	}
-	wg.Wait()
-	if fail != nil {
-		return nil, fail
+	// Fan out over the shared engine: one task per trace, results written to
+	// Records[ti] so ordering matches the input; failures are aggregated with
+	// trace identity rather than fail-fast.
+	err := par.ForEach(len(traces), cfg.Parallelism, func(ti int) error {
+		rec, err := evaluateTrace(traces[ti], cfg)
+		if err != nil {
+			return fmt.Errorf("core: trace %s: %w", traces[ti].Name, err)
+		}
+		ds.Records[ti] = rec
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return ds, nil
 }

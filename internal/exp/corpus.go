@@ -2,8 +2,10 @@ package exp
 
 import (
 	"fmt"
+	"sync"
 
 	"darwin/internal/core"
+	"darwin/internal/par"
 	"darwin/internal/trace"
 	"darwin/internal/tracegen"
 )
@@ -22,20 +24,33 @@ type Corpus struct {
 // mixes from 100:0 to 0:100 in MixStep increments, TrainSeeds traces per mix
 // for training and TestSeeds for testing.
 func BuildTraces(sc Scale) (train, test []*trace.Trace, err error) {
+	// Enumerate the (mix, seed, length) jobs serially — the job list defines
+	// the output order — then generate the traces in parallel.
+	type job struct {
+		pct, n int
+		seed   int64
+		test   bool
+	}
+	var jobs []job
 	for pct := 0; pct <= 100; pct += sc.MixStep {
 		for s := 0; s < sc.TrainSeeds; s++ {
-			tr, err := tracegen.ImageDownloadMix(pct, sc.OfflineTraceLen, sc.Seed+int64(1000*pct+s))
-			if err != nil {
-				return nil, nil, err
-			}
-			train = append(train, tr)
+			jobs = append(jobs, job{pct: pct, n: sc.OfflineTraceLen, seed: sc.Seed + int64(1000*pct+s)})
 		}
 		for s := 0; s < sc.TestSeeds; s++ {
-			tr, err := tracegen.ImageDownloadMix(pct, sc.OnlineTraceLen, sc.Seed+int64(1000*pct+500+s))
-			if err != nil {
-				return nil, nil, err
-			}
-			test = append(test, tr)
+			jobs = append(jobs, job{pct: pct, n: sc.OnlineTraceLen, seed: sc.Seed + int64(1000*pct+500+s), test: true})
+		}
+	}
+	traces, err := par.Map(jobs, 0, func(i int, j job) (*trace.Trace, error) {
+		return tracegen.ImageDownloadMix(j.pct, j.n, j.seed)
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	for i, j := range jobs {
+		if j.test {
+			test = append(test, traces[i])
+		} else {
+			train = append(train, traces[i])
 		}
 	}
 	return train, test, nil
@@ -76,19 +91,28 @@ func BuildCorpus(sc Scale, objective string) (*Corpus, error) {
 }
 
 // corpusCache memoises corpora across benchmarks within one process.
-var corpusCache = map[string]*Corpus{}
+// Guarded by corpusMu for callers running inside the engine's worker pool.
+var (
+	corpusMu    sync.Mutex
+	corpusCache = map[string]*Corpus{}
+)
 
 // CachedCorpus returns a memoised corpus for (sc, objective); benchmarks for
 // different figures share the expensive offline phase.
 func CachedCorpus(sc Scale, objective string) (*Corpus, error) {
 	key := fmt.Sprintf("%+v|%s", sc, objective)
-	if c, ok := corpusCache[key]; ok {
+	corpusMu.Lock()
+	c, ok := corpusCache[key]
+	corpusMu.Unlock()
+	if ok {
 		return c, nil
 	}
 	c, err := BuildCorpus(sc, objective)
 	if err != nil {
 		return nil, err
 	}
+	corpusMu.Lock()
 	corpusCache[key] = c
+	corpusMu.Unlock()
 	return c, nil
 }

@@ -5,6 +5,7 @@ import (
 	"sort"
 
 	"darwin/internal/cache"
+	"darwin/internal/par"
 	"darwin/internal/trace"
 	"darwin/internal/tracegen"
 )
@@ -103,29 +104,34 @@ func Fig2Suite(sc Scale) ([]*Report, error) {
 	mk := func(pct int, seed int64) (*trace.Trace, error) {
 		return tracegen.ImageDownloadMix(pct, sc.OnlineTraceLen, seed)
 	}
-	panels := []struct {
+	type panel struct {
 		title  string
 		pct    int
 		seed   int64
 		metric GridMetric
-	}{
+	}
+	panels := []panel{
 		{"Figure 2a: production window 1 OHR (mix 60:40)", 60, sc.Seed + 11, GridOHR},
 		{"Figure 2b: production window 2 OHR (mix 30:70)", 30, sc.Seed + 12, GridOHR},
 		{"Figure 2c: Image class OHR", 100, sc.Seed + 13, GridOHR},
 		{"Figure 2d: Download class OHR", 0, sc.Seed + 14, GridOHR},
 		{"Figure 2e: Download class disk writes", 0, sc.Seed + 14, GridDiskWrite},
 	}
-	var out []*Report
-	for _, p := range panels {
+	// Panels are independent (trace generation + grid evaluation), so they
+	// fan out over the engine; out[i] keeps paper order deterministic.
+	out, err := par.Map(panels, 0, func(i int, p panel) (*Report, error) {
 		tr, err := mk(p.pct, p.seed)
 		if err != nil {
-			return nil, err
+			return nil, fmt.Errorf("panel %s: %w", p.title, err)
 		}
 		rep, err := Fig2Grid(p.title, tr, sc.Experts, sc.Eval, p.metric)
 		if err != nil {
-			return nil, err
+			return nil, fmt.Errorf("panel %s: %w", p.title, err)
 		}
-		out = append(out, rep)
+		return rep, nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return out, nil
 }

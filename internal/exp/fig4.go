@@ -3,10 +3,12 @@ package exp
 import (
 	"fmt"
 	"sort"
+	"sync"
 
 	"darwin/internal/baselines"
 	"darwin/internal/cache"
 	"darwin/internal/core"
+	"darwin/internal/par"
 	"darwin/internal/stats"
 	"darwin/internal/trace"
 )
@@ -94,27 +96,52 @@ func NewBaseline(name string, c *Corpus) (baselines.Server, error) {
 	return nil, fmt.Errorf("exp: unknown baseline %q", name)
 }
 
-// hindsight memoises full-grid evaluations of test traces.
-var hindsightCache = map[string][]cache.Metrics{}
+// hindsight memoises full-grid evaluations of test traces. Guarded by
+// hindsightMu: Hindsight is called from the engine's worker goroutines.
+var (
+	hindsightMu    sync.Mutex
+	hindsightCache = map[string][]cache.Metrics{}
+)
 
 // Hindsight evaluates every grid expert on tr (memoised per trace name).
 func Hindsight(c *Corpus, tr *trace.Trace) ([]cache.Metrics, error) {
 	key := fmt.Sprintf("%s|%d|%d", tr.Name, c.Scale.Eval.HOCBytes, len(c.Scale.Experts))
-	if ms, ok := hindsightCache[key]; ok {
+	hindsightMu.Lock()
+	ms, ok := hindsightCache[key]
+	hindsightMu.Unlock()
+	if ok {
 		return ms, nil
 	}
 	ms, err := cache.EvaluateAll(tr, c.Scale.Experts, c.Scale.Eval)
 	if err != nil {
 		return nil, err
 	}
+	hindsightMu.Lock()
 	hindsightCache[key] = ms
+	hindsightMu.Unlock()
 	return ms, nil
+}
+
+// resetHindsightCache clears the memo (golden serial/parallel tests use it to
+// force both runs through the full evaluation path).
+func resetHindsightCache() {
+	hindsightMu.Lock()
+	hindsightCache = map[string][]cache.Metrics{}
+	hindsightMu.Unlock()
 }
 
 // EnsembleSet groups the corpus's test traces by their hindsight-best static
 // expert and picks one trace per group (§6.1 "Comparison with static
 // baselines").
 func EnsembleSet(c *Corpus) ([]*trace.Trace, error) {
+	// Warm the hindsight memo for every test trace in parallel; the serial
+	// grouping below then reads cached grids only.
+	if err := par.ForEach(len(c.Test), 0, func(i int) error {
+		_, err := Hindsight(c, c.Test[i])
+		return err
+	}); err != nil {
+		return nil, err
+	}
 	byBest := map[int]*trace.Trace{}
 	var order []int
 	for _, tr := range c.Test {
@@ -150,7 +177,11 @@ type ComparisonResult struct {
 }
 
 // compareCache memoises the expensive ensemble comparison per corpus.
-var compareCache = map[*Corpus]*compareOut{}
+// Guarded by compareMu.
+var (
+	compareMu    sync.Mutex
+	compareCache = map[*Corpus]*compareOut{}
+)
 
 type compareOut struct {
 	results []ComparisonResult
@@ -160,9 +191,28 @@ type compareOut struct {
 // compare runs Darwin and every baseline over the corpus's ensemble set
 // (memoised per corpus so Figure 4 and Table 2 share one run).
 func compare(c *Corpus) (*compareOut, error) {
-	if out, ok := compareCache[c]; ok {
+	compareMu.Lock()
+	out, ok := compareCache[c]
+	compareMu.Unlock()
+	if ok {
 		return out, nil
 	}
+	out, err := compareFresh(c)
+	if err != nil {
+		return nil, err
+	}
+	compareMu.Lock()
+	compareCache[c] = out
+	compareMu.Unlock()
+	return out, nil
+}
+
+// compareFresh performs the full comparison without memoisation. Every leg —
+// Darwin per ensemble trace, the static-expert grids, and each (baseline,
+// trace) pair — is an independent deterministic replay, so all of them fan
+// out over the engine; results are assembled in fixed scheme/trace order, so
+// the output is bit-identical to the serial path.
+func compareFresh(c *Corpus) (*compareOut, error) {
 	ensemble, err := EnsembleSet(c)
 	if err != nil {
 		return nil, err
@@ -171,21 +221,32 @@ func compare(c *Corpus) (*compareOut, error) {
 		return nil, fmt.Errorf("exp: empty ensemble")
 	}
 
-	var results []ComparisonResult
-	var allDiags []core.EpochDiag
-
-	darwin := ComparisonResult{Scheme: "darwin"}
-	for _, tr := range ensemble {
+	// Darwin: one online run per ensemble trace, diagnostics kept per trace
+	// so the flattened order matches the serial loop.
+	type darwinOut struct {
+		ohr   float64
+		diags []core.EpochDiag
+	}
+	darwinRuns, err := par.Map(ensemble, 0, func(i int, tr *trace.Trace) (darwinOut, error) {
 		m, diags, err := RunDarwin(c, tr)
 		if err != nil {
-			return nil, err
+			return darwinOut{}, fmt.Errorf("darwin on %s: %w", tr.Name, err)
 		}
-		darwin.OHR = append(darwin.OHR, m.OHR())
-		allDiags = append(allDiags, diags...)
+		return darwinOut{ohr: m.OHR(), diags: diags}, nil
+	})
+	if err != nil {
+		return nil, err
 	}
-	results = append(results, darwin)
+	darwin := ComparisonResult{Scheme: "darwin"}
+	var allDiags []core.EpochDiag
+	for _, d := range darwinRuns {
+		darwin.OHR = append(darwin.OHR, d.ohr)
+		allDiags = append(allDiags, d.diags...)
+	}
+	results := []ComparisonResult{darwin}
 
-	// Static experts (full grid).
+	// Static experts (full grid; EnsembleSet already warmed the hindsight
+	// memo for every ensemble trace).
 	for ei, e := range c.Scale.Experts {
 		r := ComparisonResult{Scheme: e.String()}
 		for _, tr := range ensemble {
@@ -198,23 +259,38 @@ func compare(c *Corpus) (*compareOut, error) {
 		results = append(results, r)
 	}
 
-	// Adaptive baselines.
-	for _, name := range BaselineNames() {
-		r := ComparisonResult{Scheme: name}
+	// Adaptive baselines: flatten the (baseline, trace) matrix into one task
+	// list; each task constructs its own server, so no state is shared.
+	names := BaselineNames()
+	type pair struct {
+		name string
+		tr   *trace.Trace
+	}
+	pairs := make([]pair, 0, len(names)*len(ensemble))
+	for _, name := range names {
 		for _, tr := range ensemble {
-			srv, err := NewBaseline(name, c)
-			if err != nil {
-				return nil, err
-			}
-			m := baselines.Play(srv, tr, c.Scale.Eval.WarmupFrac)
-			r.OHR = append(r.OHR, m.OHR())
+			pairs = append(pairs, pair{name: name, tr: tr})
 		}
-		results = append(results, r)
+	}
+	ohrs, err := par.Map(pairs, 0, func(i int, p pair) (float64, error) {
+		srv, err := NewBaseline(p.name, c)
+		if err != nil {
+			return 0, fmt.Errorf("baseline %s: %w", p.name, err)
+		}
+		m := baselines.Play(srv, p.tr, c.Scale.Eval.WarmupFrac)
+		return m.OHR(), nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for ni, name := range names {
+		results = append(results, ComparisonResult{
+			Scheme: name,
+			OHR:    ohrs[ni*len(ensemble) : (ni+1)*len(ensemble)],
+		})
 	}
 
-	out := &compareOut{results: results, diags: allDiags}
-	compareCache[c] = out
-	return out, nil
+	return &compareOut{results: results, diags: allDiags}, nil
 }
 
 // Fig4Compare reproduces Figure 4a/4b: Darwin vs static and adaptive
@@ -238,10 +314,9 @@ func Fig4Compare(c *Corpus, title string) (*Report, []ComparisonResult, []core.E
 	rep.AddNote("darwin mean OHR %.4f over %d ensemble traces", stats.Mean(darwin.OHR), len(darwin.OHR))
 	// R1 reference point: the clairvoyant (Belady-style) HOC bound.
 	if ensemble, err := EnsembleSet(c); err == nil && len(ensemble) > 0 {
-		var bounds []float64
-		for _, tr := range ensemble {
-			bounds = append(bounds, cache.OfflineOptimalOHR(tr, c.Scale.Eval.HOCBytes, c.Scale.Eval.WarmupFrac))
-		}
+		bounds, _ := par.Map(ensemble, 0, func(i int, tr *trace.Trace) (float64, error) {
+			return cache.OfflineOptimalOHR(tr, c.Scale.Eval.HOCBytes, c.Scale.Eval.WarmupFrac), nil
+		})
 		if mb := stats.Mean(bounds); mb > 0 {
 			rep.AddNote("clairvoyant HOC bound (Belady): mean OHR %.4f; darwin reaches %.1f%% of it",
 				mb, 100*stats.Mean(darwin.OHR)/mb)

@@ -1,10 +1,13 @@
 package exp
 
 import (
+	"fmt"
 	"strconv"
 
 	"darwin/internal/core"
+	"darwin/internal/par"
 	"darwin/internal/stats"
+	"darwin/internal/trace"
 )
 
 // Fig6Objective reproduces Figures 6a and 6b: Darwin retrained for a
@@ -22,14 +25,17 @@ func Fig6Objective(sc Scale, objective string, title string) (*Report, error) {
 		return nil, err
 	}
 
-	// Darwin under the retrained objective.
-	var darwinVals []float64
-	for _, tr := range ensemble {
+	// Darwin under the retrained objective: one run per ensemble trace,
+	// fanned out over the engine in trace order.
+	darwinVals, err := par.Map(ensemble, 0, func(i int, tr *trace.Trace) (float64, error) {
 		m, _, err := RunDarwin(c, tr)
 		if err != nil {
-			return nil, err
+			return 0, fmt.Errorf("darwin on %s: %w", tr.Name, err)
 		}
-		darwinVals = append(darwinVals, obj.Reward(m))
+		return obj.Reward(m), nil
+	})
+	if err != nil {
+		return nil, err
 	}
 
 	rep := &Report{
@@ -73,6 +79,37 @@ func objImprovements(darwin, baseline []float64) []float64 {
 	return out
 }
 
+// runDarwinEnsemble runs Darwin over every ensemble trace (fanned out over
+// the engine, results in trace order) and returns the per-trace OHRs plus the
+// bandit round counts of every multi-expert epoch.
+func runDarwinEnsemble(c *Corpus, ensemble []*trace.Trace) (ohrs, rounds []float64, err error) {
+	type runOut struct {
+		ohr    float64
+		rounds []float64
+	}
+	outs, err := par.Map(ensemble, 0, func(i int, tr *trace.Trace) (runOut, error) {
+		m, diags, err := RunDarwin(c, tr)
+		if err != nil {
+			return runOut{}, fmt.Errorf("darwin on %s: %w", tr.Name, err)
+		}
+		o := runOut{ohr: m.OHR()}
+		for _, d := range diags {
+			if d.SetSize >= 2 {
+				o.rounds = append(o.rounds, float64(d.Rounds))
+			}
+		}
+		return o, nil
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	for _, o := range outs {
+		ohrs = append(ohrs, o.ohr)
+		rounds = append(rounds, o.rounds...)
+	}
+	return ohrs, rounds, nil
+}
+
 // AblationSideInfo compares Darwin's identification speed and quality with
 // side information enabled vs. classical bandit feedback (DESIGN.md §4.1):
 // the ablation the theory (Theorem 2) predicts.
@@ -96,18 +133,9 @@ func AblationSideInfo(sc Scale) (*Report, error) {
 		scv := sc
 		scv.Online.DisableSideInfo = variant.disable
 		cv := &Corpus{Scale: scv, Train: c.Train, Test: c.Test, Dataset: c.Dataset, Model: c.Model}
-		var ohrs, rounds []float64
-		for _, tr := range ensemble {
-			m, diags, err := RunDarwin(cv, tr)
-			if err != nil {
-				return nil, err
-			}
-			ohrs = append(ohrs, m.OHR())
-			for _, d := range diags {
-				if d.SetSize >= 2 {
-					rounds = append(rounds, float64(d.Rounds))
-				}
-			}
+		ohrs, rounds, err := runDarwinEnsemble(cv, ensemble)
+		if err != nil {
+			return nil, err
 		}
 		mr := 0.0
 		if len(rounds) > 0 {
@@ -141,18 +169,9 @@ func AblationStopping(sc Scale) (*Report, error) {
 		scv := sc
 		scv.Online.StabilityRounds = variant.stability
 		cv := &Corpus{Scale: scv, Train: c.Train, Test: c.Test, Dataset: c.Dataset, Model: c.Model}
-		var ohrs, rounds []float64
-		for _, tr := range ensemble {
-			m, diags, err := RunDarwin(cv, tr)
-			if err != nil {
-				return nil, err
-			}
-			ohrs = append(ohrs, m.OHR())
-			for _, d := range diags {
-				if d.SetSize >= 2 {
-					rounds = append(rounds, float64(d.Rounds))
-				}
-			}
+		ohrs, rounds, err := runDarwinEnsemble(cv, ensemble)
+		if err != nil {
+			return nil, err
 		}
 		mr := 0.0
 		if len(rounds) > 0 {
@@ -184,13 +203,9 @@ func AblationRoundLength(sc Scale, lengths []int) (*Report, error) {
 			continue
 		}
 		cv := &Corpus{Scale: scv, Train: c.Train, Test: c.Test, Dataset: c.Dataset, Model: c.Model}
-		var ohrs []float64
-		for _, tr := range ensemble {
-			m, _, err := RunDarwin(cv, tr)
-			if err != nil {
-				return nil, err
-			}
-			ohrs = append(ohrs, m.OHR())
+		ohrs, _, err := runDarwinEnsemble(cv, ensemble)
+		if err != nil {
+			return nil, err
 		}
 		rep.AddRow(intStr(n), f4(stats.Mean(ohrs)))
 	}

@@ -68,10 +68,12 @@ type objState struct {
 	size     int64
 }
 
-// Extractor accumulates features over a request stream.
+// Extractor accumulates features over a request stream. Per-object state is
+// stored by value so tracking a new object costs one map store, not a heap
+// allocation.
 type Extractor struct {
 	cfg     Config
-	objects map[uint64]*objState
+	objects map[uint64]objState
 	tree    *stats.Fenwick
 	raw     []int64 // per-position sizes currently in the tree (for regrow)
 	pos     int
@@ -94,7 +96,7 @@ func NewExtractor(cfg Config) (*Extractor, error) {
 	}
 	return &Extractor{
 		cfg:      cfg,
-		objects:  make(map[uint64]*objState),
+		objects:  make(map[uint64]objState),
 		tree:     stats.NewFenwick(1024),
 		raw:      make([]int64, 1024),
 		iatSum:   make([]float64, cfg.NumIAT),
@@ -118,8 +120,7 @@ func (e *Extractor) Observe(r trace.Request) {
 
 	st, ok := e.objects[r.ID]
 	if !ok {
-		st = &objState{lastPos: -1}
-		e.objects[r.ID] = st
+		st.lastPos = -1
 	}
 	if st.lastPos >= 0 {
 		gap := st.count // 1-indexed gap number: between count-th and (count+1)-th request
@@ -142,6 +143,7 @@ func (e *Extractor) Observe(r trace.Request) {
 	st.lastPos = e.pos
 	st.lastTime = r.Time
 	st.size = r.Size
+	e.objects[r.ID] = st
 	e.tree.Add(e.pos, r.Size)
 	e.raw[e.pos] = r.Size
 	e.pos++

@@ -1,0 +1,165 @@
+package par
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestForEachFillsAllSlotsInOrder(t *testing.T) {
+	for _, p := range []int{1, 2, 4, 16} {
+		out := make([]int, 1000)
+		if err := ForEach(len(out), p, func(i int) error {
+			out[i] = i * i
+			return nil
+		}); err != nil {
+			t.Fatalf("p=%d: %v", p, err)
+		}
+		for i, v := range out {
+			if v != i*i {
+				t.Fatalf("p=%d: out[%d] = %d", p, i, v)
+			}
+		}
+	}
+}
+
+func TestDoAggregatesAllErrors(t *testing.T) {
+	wantFail := map[int]bool{3: true, 7: true, 42: true}
+	err := ForEach(100, 8, func(i int) error {
+		if wantFail[i] {
+			return fmt.Errorf("boom %d", i)
+		}
+		return nil
+	})
+	var errs *Errors
+	if !errors.As(err, &errs) {
+		t.Fatalf("error type %T, want *Errors", err)
+	}
+	if len(errs.Tasks) != len(wantFail) {
+		t.Fatalf("got %d failures, want %d: %v", len(errs.Tasks), len(wantFail), err)
+	}
+	// Sorted by index.
+	for k := 1; k < len(errs.Tasks); k++ {
+		if errs.Tasks[k-1].Index >= errs.Tasks[k].Index {
+			t.Fatalf("failures not sorted: %v", err)
+		}
+	}
+	for _, te := range errs.Tasks {
+		if !wantFail[te.Index] {
+			t.Fatalf("unexpected failing index %d", te.Index)
+		}
+	}
+}
+
+func TestDoBoundsConcurrency(t *testing.T) {
+	const p = 3
+	var cur, max atomic.Int64
+	err := ForEach(50, p, func(i int) error {
+		c := cur.Add(1)
+		for {
+			m := max.Load()
+			if c <= m || max.CompareAndSwap(m, c) {
+				break
+			}
+		}
+		time.Sleep(time.Millisecond)
+		cur.Add(-1)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := max.Load(); got > p {
+		t.Fatalf("observed %d concurrent tasks, bound is %d", got, p)
+	}
+}
+
+func TestDoCancellationSkipsUndispatched(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	var ran atomic.Int64
+	err := Do(ctx, 100, 2, func(ctx context.Context, i int) error {
+		if i == 0 {
+			cancel()
+			return nil
+		}
+		ran.Add(1)
+		return nil
+	})
+	if err == nil {
+		t.Fatal("want aggregated context errors, got nil")
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("errors.Is(err, context.Canceled) = false: %v", err)
+	}
+	if ran.Load() == 99 {
+		t.Fatal("cancellation had no effect: every task ran")
+	}
+}
+
+func TestSerialPathRunsInline(t *testing.T) {
+	// With parallelism 1 tasks run on the calling goroutine in index order.
+	var order []int
+	if err := ForEach(10, 1, func(i int) error {
+		order = append(order, i) // safe only if inline
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("order[%d] = %d; serial path must preserve index order", i, v)
+		}
+	}
+}
+
+func TestMapPreservesOrder(t *testing.T) {
+	in := make([]int, 257)
+	for i := range in {
+		in[i] = i
+	}
+	out, err := Map(in, 8, func(i, v int) (string, error) {
+		return fmt.Sprintf("v%d", v), nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, s := range out {
+		if want := fmt.Sprintf("v%d", i); s != want {
+			t.Fatalf("out[%d] = %q, want %q", i, s, want)
+		}
+	}
+}
+
+func TestMapError(t *testing.T) {
+	_, err := Map([]int{1, 2, 3}, 2, func(i, v int) (int, error) {
+		if v == 2 {
+			return 0, errors.New("nope")
+		}
+		return v, nil
+	})
+	if err == nil {
+		t.Fatal("want error")
+	}
+}
+
+func TestSetDefault(t *testing.T) {
+	prev := SetDefault(3)
+	defer SetDefault(prev)
+	if Default() != 3 {
+		t.Fatalf("Default() = %d, want 3", Default())
+	}
+	SetDefault(0)
+	if Default() != runtime.NumCPU() {
+		t.Fatalf("Default() = %d, want NumCPU", Default())
+	}
+}
+
+func TestZeroTasks(t *testing.T) {
+	if err := ForEach(0, 4, func(i int) error { return errors.New("never") }); err != nil {
+		t.Fatal(err)
+	}
+}
