@@ -1,13 +1,13 @@
-# Development targets. `make tier1` is the PR gate: vet + build + full test
-# suite, plus the race detector on the concurrency-heavy packages (the HTTP
-# prototype's proxy/origin, the load-balancer model, the cache, the parallel
-# evaluation engine, and the experiment drivers that fan out over it).
+# Development targets. `make tier1` is the PR gate: build + vet + the
+# repo's own static analyzers (cmd/darwinlint) + full test suite. `make race`
+# adds the race detector on the concurrency-heavy packages and `make fuzz`
+# runs short fuzzing sessions over the parsing and hashing seams.
 
 GO ?= go
 
-.PHONY: tier1 vet build test race bench microbench chaos
+.PHONY: tier1 vet build test lint race fuzz bench microbench chaos
 
-tier1: vet build test race
+tier1: build vet lint test
 
 vet:
 	$(GO) vet ./...
@@ -18,8 +18,22 @@ build:
 test:
 	$(GO) test ./...
 
+# lint runs the project's own stdlib-only static-analysis suite: determinism,
+# hot-path allocation, locking, error-hygiene, and context-propagation rules
+# (see internal/lint and the README's "Static analysis & verification").
+lint:
+	$(GO) run ./cmd/darwinlint ./...
+
 race:
-	$(GO) test -race ./internal/server ./internal/lb ./internal/cache ./internal/par ./internal/core ./internal/exp
+	$(GO) test -race ./internal/server ./internal/lb ./internal/cache ./internal/par ./internal/core ./internal/exp ./internal/bloom ./internal/bandit
+
+# fuzz runs each fuzz target briefly: URL parsing on the proxy/origin seam
+# and the Bloom filter's uint64/string hash-identity invariants.
+fuzz:
+	$(GO) test ./internal/server -fuzz FuzzParseObjectURL -fuzztime 10s
+	$(GO) test ./internal/bloom -fuzz FuzzHashIdentity -fuzztime 10s
+	$(GO) test ./internal/bloom -fuzz FuzzFilterU64StringIdentity -fuzztime 10s
+	$(GO) test ./internal/bloom -fuzz FuzzCountingU64StringIdentity -fuzztime 10s
 
 # bench runs the reproducible performance harness (hot-path micro benchmarks
 # plus serial-vs-parallel sweep timings) and writes BENCH_<date>.json.

@@ -25,16 +25,16 @@ import (
 
 func main() {
 	var (
-		tracePath = flag.String("trace", "", "trace file (id size time per line); empty generates a synthetic 50:50 mix")
-		policy    = flag.String("policy", "darwin", "static | darwin | percentile | hillclimbing-1k | hillclimbing-10k | adaptsize | directmapping | tinylfu")
-		f         = flag.Int("f", 2, "static expert frequency threshold")
-		s         = flag.Int64("s", 10<<10, "static expert size threshold (bytes)")
-		hoc       = flag.Int64("hoc", 2<<20, "HOC bytes")
-		dc        = flag.Int64("dc", 200<<20, "DC bytes")
-		warmup    = flag.Float64("warmup", 0.1, "warm-up fraction excluded from metrics")
-		objective = flag.String("objective", "ohr", "darwin objective: ohr | bmr | combined")
-		n         = flag.Int("n", 200000, "synthetic trace length when -trace is empty")
-		seed      = flag.Int64("seed", 7, "synthetic trace seed")
+		tracePath   = flag.String("trace", "", "trace file (id size time per line); empty generates a synthetic 50:50 mix")
+		policy      = flag.String("policy", "darwin", "static | darwin | percentile | hillclimbing-1k | hillclimbing-10k | adaptsize | directmapping | tinylfu")
+		f           = flag.Int("f", 2, "static expert frequency threshold")
+		s           = flag.Int64("s", 10<<10, "static expert size threshold (bytes)")
+		hoc         = flag.Int64("hoc", 2<<20, "HOC bytes")
+		dc          = flag.Int64("dc", 200<<20, "DC bytes")
+		warmup      = flag.Float64("warmup", 0.1, "warm-up fraction excluded from metrics")
+		objective   = flag.String("objective", "ohr", "darwin objective: ohr | bmr | combined")
+		n           = flag.Int("n", 200000, "synthetic trace length when -trace is empty")
+		seed        = flag.Int64("seed", 7, "synthetic trace seed")
 		modelPath   = flag.String("model", "", "pre-trained model from darwin-train (darwin policy only; skips offline training)")
 		parallelism = flag.Int("parallelism", runtime.NumCPU(), "worker count for offline training sweeps; 1 forces the serial path")
 	)

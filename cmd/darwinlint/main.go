@@ -1,0 +1,143 @@
+// Command darwinlint runs the repository's custom static-analysis suite (see
+// internal/lint): determinism, hot-path allocation, locking, error-hygiene
+// and context-propagation rules, built only on the standard library's go/ast
+// and go/types.
+//
+// Usage:
+//
+//	darwinlint [-root dir] [patterns...]
+//
+// Patterns are ./... (the default, whole module) or directory paths like
+// ./internal/cache; analysis always covers the whole module (the hot-path
+// rule needs the full call graph), patterns only filter which files'
+// diagnostics are reported. Exits 1 when any diagnostic survives
+// //lint:ignore suppression.
+//
+// -fixture dir runs a single golden-fixture package (a directory under
+// internal/lint/testdata) with the rule that fixture exercises — the same
+// configuration the fixture tests use. Seeded violations make it exit 1,
+// which is how the gate demonstrates each analyzer still fires:
+//
+//	darwinlint -fixture internal/lint/testdata/determinism
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"darwin/internal/lint"
+)
+
+func main() {
+	root := flag.String("root", "", "module root (default: walk up from cwd to go.mod)")
+	fixture := flag.String("fixture", "", "run one internal/lint/testdata fixture package instead of the module")
+	flag.Parse()
+
+	dir := *root
+	if dir == "" {
+		var err error
+		dir, err = findModuleRoot()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "darwinlint:", err)
+			os.Exit(2)
+		}
+	}
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "darwinlint:", err)
+		os.Exit(2)
+	}
+
+	loader, err := lint.NewLoader(abs)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "darwinlint:", err)
+		os.Exit(2)
+	}
+
+	var prog *lint.Program
+	cfg := lint.DefaultConfig()
+	if *fixture != "" {
+		name := filepath.Base(filepath.Clean(*fixture))
+		pkg, err := loader.LoadDirAs(*fixture, lint.FixturePrefix+name)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "darwinlint:", err)
+			os.Exit(2)
+		}
+		prog = &lint.Program{Fset: loader.Fset(), Pkgs: []*lint.Package{pkg}}
+		cfg = lint.FixtureConfig(name)
+	} else {
+		prog, err = loader.LoadAll()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "darwinlint:", err)
+			os.Exit(2)
+		}
+	}
+
+	filters := fileFilters(abs, flag.Args())
+	failed := false
+	for _, d := range lint.Run(prog, cfg) {
+		if !matchesFilter(d.Pos.Filename, filters) {
+			continue
+		}
+		failed = true
+		name := d.Pos.Filename
+		if rel, err := filepath.Rel(abs, name); err == nil && !strings.HasPrefix(rel, "..") {
+			name = rel
+		}
+		fmt.Printf("%s:%d:%d: [%s] %s\n", name, d.Pos.Line, d.Pos.Column, d.Rule, d.Msg)
+	}
+	if failed {
+		os.Exit(1)
+	}
+}
+
+// findModuleRoot walks up from the working directory to the nearest go.mod.
+func findModuleRoot() (string, error) {
+	dir, err := os.Getwd()
+	if err != nil {
+		return "", err
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir, nil
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", fmt.Errorf("no go.mod found above the working directory")
+		}
+		dir = parent
+	}
+}
+
+// fileFilters converts CLI patterns into absolute directory prefixes; nil
+// means report everything.
+func fileFilters(root string, patterns []string) []string {
+	var filters []string
+	for _, p := range patterns {
+		if p == "./..." || p == "..." || p == "." {
+			return nil
+		}
+		trimmed := strings.TrimSuffix(p, "/...")
+		if !filepath.IsAbs(trimmed) {
+			trimmed = filepath.Join(root, trimmed)
+		}
+		filters = append(filters, filepath.Clean(trimmed))
+	}
+	return filters
+}
+
+// matchesFilter reports whether file lies under any filter directory.
+func matchesFilter(file string, filters []string) bool {
+	if len(filters) == 0 {
+		return true
+	}
+	for _, f := range filters {
+		if file == f || strings.HasPrefix(file, f+string(filepath.Separator)) {
+			return true
+		}
+	}
+	return false
+}

@@ -9,6 +9,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -52,7 +53,7 @@ func main() {
 		}
 	}
 
-	res, err := server.RunLoad(tr, server.LoadConfig{
+	res, err := server.RunLoad(context.Background(), tr, server.LoadConfig{
 		ProxyURL:      *url,
 		Concurrency:   *concurrency,
 		ClientLatency: *clientLat,

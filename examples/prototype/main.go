@@ -6,6 +6,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"net/http/httptest"
@@ -72,7 +73,7 @@ func main() {
 		log.Fatal(err)
 	}
 	for _, conc := range []int{1, 8, 32} {
-		res, err := darwin.RunLoad(live, darwin.LoadConfig{
+		res, err := darwin.RunLoad(context.Background(), live, darwin.LoadConfig{
 			ProxyURL:    proxySrv.URL,
 			Concurrency: conc,
 		})

@@ -338,10 +338,12 @@ func (l *LFU) Len() int { return len(l.h) }
 // Bytes implements Eviction.
 func (l *LFU) Bytes() int64 { return l.bytes }
 
-// Entries implements Eviction (heap order, unspecified).
+// Entries implements Eviction (heap-array order: deterministic for a given
+// insertion history, so policy migrations replay identically — map iteration
+// here would make SetHOCEviction nondeterministic).
 func (l *LFU) Entries() []ResidentObject {
-	out := make([]ResidentObject, 0, len(l.index))
-	for _, e := range l.index {
+	out := make([]ResidentObject, 0, len(l.h))
+	for _, e := range l.h {
 		out = append(out, ResidentObject{ID: e.id, Size: e.size})
 	}
 	return out

@@ -150,10 +150,12 @@ func (g *GDSF) Len() int { return len(g.index) }
 // Bytes implements Eviction.
 func (g *GDSF) Bytes() int64 { return g.bytes }
 
-// Entries implements Eviction (map order, unspecified).
+// Entries implements Eviction (heap-array order: deterministic for a given
+// insertion history, so policy migrations replay identically — map iteration
+// here would make SetHOCEviction nondeterministic).
 func (g *GDSF) Entries() []ResidentObject {
-	out := make([]ResidentObject, 0, len(g.index))
-	for _, e := range g.index {
+	out := make([]ResidentObject, 0, len(g.h))
+	for _, e := range g.h {
 		out = append(out, ResidentObject{ID: e.id, Size: e.size})
 	}
 	return out

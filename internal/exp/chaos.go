@@ -1,6 +1,7 @@
 package exp
 
 import (
+	"context"
 	"fmt"
 	"net/http/httptest"
 	"time"
@@ -75,8 +76,13 @@ func chaosRun(cc ChaosConfig, res server.Resilience, tr *trace.Trace) (server.Lo
 	proxySrv := httptest.NewServer(proxy)
 	defer proxySrv.Close()
 
+	// The chaos experiment exercises the real HTTP prototype, not the
+	// simulator: outage windows are anchored to the physical clock of the
+	// live origin server, which is exactly the wall-clock boundary the
+	// determinism rule carves out for internal/server.
+	//lint:ignore determinism prototype testbed runs on the physical clock; simulator replays never reach this path
 	injector.Restart(time.Now()) // align outage windows with the replay
-	lr, err := server.RunLoad(tr, server.LoadConfig{
+	lr, err := server.RunLoad(context.Background(), tr, server.LoadConfig{
 		ProxyURL:       proxySrv.URL,
 		Concurrency:    cc.Prototype.Concurrency,
 		ClientLatency:  cc.Prototype.ClientLatency,

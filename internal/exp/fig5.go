@@ -168,8 +168,13 @@ func Fig5dBanditRounds(diags []core.EpochDiag) *Report {
 	for _, p := range stats.CDF(rounds) {
 		rep.AddRow(fmt.Sprintf("%.0f", p.Value), f2(p.Fraction))
 	}
-	for reason, n := range byReason {
-		rep.AddNote("stop reason %q: %d epochs", reason, n)
+	reasons := make([]string, 0, len(byReason))
+	for reason := range byReason {
+		reasons = append(reasons, reason)
+	}
+	sort.Strings(reasons)
+	for _, reason := range reasons {
+		rep.AddNote("stop reason %q: %d epochs", reason, byReason[reason])
 	}
 	rep.AddNote("paper: >=80%% of traces stabilise by round 12; worst case 21 rounds")
 	return rep

@@ -1,6 +1,7 @@
 package exp
 
 import (
+	"context"
 	"fmt"
 	"net/http/httptest"
 	"time"
@@ -93,7 +94,7 @@ func Fig4cPrototypeOHR(c *Corpus, pc PrototypeConfig, tr *trace.Trace) (*Report,
 	runOne := func(name string, dec server.Decider) error {
 		url, stop := startProxy(dec, pc)
 		defer stop()
-		res, err := server.RunLoad(tr, server.LoadConfig{
+		res, err := server.RunLoad(context.Background(), tr, server.LoadConfig{
 			ProxyURL:    url,
 			Concurrency: pc.Concurrency,
 		})
@@ -141,7 +142,7 @@ func Fig7aLatency(c *Corpus, pc PrototypeConfig, tr *trace.Trace) (*Report, erro
 	runOne := func(name string, dec server.Decider) error {
 		url, stop := startProxy(dec, pc)
 		defer stop()
-		res, err := server.RunLoad(tr, server.LoadConfig{
+		res, err := server.RunLoad(context.Background(), tr, server.LoadConfig{
 			ProxyURL:      url,
 			Concurrency:   pc.Concurrency,
 			ClientLatency: pc.ClientLatency,
@@ -186,7 +187,7 @@ func Fig7bThroughput(c *Corpus, pc PrototypeConfig, tr *trace.Trace) (*Report, e
 		run := func(dec server.Decider) (float64, error) {
 			url, stop := startProxy(dec, pc)
 			defer stop()
-			res, err := server.RunLoad(tr, server.LoadConfig{ProxyURL: url, Concurrency: conc})
+			res, err := server.RunLoad(context.Background(), tr, server.LoadConfig{ProxyURL: url, Concurrency: conc})
 			if err != nil {
 				return 0, err
 			}

@@ -98,7 +98,7 @@ type Config struct {
 // Stats counts injected faults by class. Requests is the total seen;
 // Passed is how many were forwarded unmodified.
 type Stats struct {
-	Requests, Passed                           int64
+	Requests, Passed                                 int64
 	Errors, OutageDrops, Spikes, Stalls, Truncations int64
 }
 

@@ -1,0 +1,125 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// runCtxFirst enforces context propagation in the concurrency packages: an
+// exported function whose body blocks (channel operations, select,
+// WaitGroup.Wait, time.Sleep) must accept a context.Context, and any function
+// taking a context.Context must take it as the first parameter. http.Handler
+// methods are exempt — their context arrives inside *http.Request.
+func runCtxFirst(cfg *Config, prog *Program) []Diagnostic {
+	var diags []Diagnostic
+	for _, pkg := range prog.Pkgs {
+		if !hasPrefixPath(pkg.ImportPath, cfg.CtxFirstPkgs) {
+			continue
+		}
+		for _, fd := range funcDecls(pkg) {
+			if !fd.Name.IsExported() || isHandlerSignature(pkg, fd) {
+				continue
+			}
+			ctxIndex := -1
+			params := fd.Type.Params
+			for i, field := range params.List {
+				if tv, ok := pkg.Info.Types[field.Type]; ok && isContextType(tv.Type) {
+					ctxIndex = i
+					break
+				}
+			}
+			switch {
+			case ctxIndex > 0:
+				diags = append(diags, Diagnostic{
+					Pos:  prog.Fset.Position(params.List[ctxIndex].Pos()),
+					Rule: "ctxfirst",
+					Msg:  fmt.Sprintf("context.Context must be the first parameter of %s", fd.Name.Name),
+				})
+			case ctxIndex < 0:
+				if op, pos, blocks := blockingOp(pkg, fd); blocks {
+					diags = append(diags, Diagnostic{
+						Pos:  prog.Fset.Position(pos),
+						Rule: "ctxfirst",
+						Msg:  fmt.Sprintf("exported %s blocks (%s) but takes no context.Context; add ctx as the first parameter", fd.Name.Name, op),
+					})
+				}
+			}
+		}
+	}
+	return diags
+}
+
+// isHandlerSignature reports whether fd has the http.Handler ServeHTTP shape
+// (http.ResponseWriter, *http.Request).
+func isHandlerSignature(pkg *Package, fd *ast.FuncDecl) bool {
+	params := fd.Type.Params
+	if params.NumFields() != 2 {
+		return false
+	}
+	isNet := func(e ast.Expr, name string, ptr bool) bool {
+		if ptr {
+			star, ok := e.(*ast.StarExpr)
+			if !ok {
+				return false
+			}
+			e = star.X
+		}
+		tv, ok := pkg.Info.Types[e]
+		if !ok {
+			return false
+		}
+		named := namedOf(tv.Type)
+		return named != nil && named.Obj().Pkg() != nil &&
+			named.Obj().Pkg().Path() == "net/http" && named.Obj().Name() == name
+	}
+	return isNet(params.List[0].Type, "ResponseWriter", false) && isNet(params.List[1].Type, "Request", true)
+}
+
+// blockingOp finds the first direct blocking operation in fd's body
+// (including function literals it defines), returning a description and its
+// position.
+func blockingOp(pkg *Package, fd *ast.FuncDecl) (string, token.Pos, bool) {
+	var (
+		op  string
+		pos token.Pos
+	)
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if op != "" {
+			return false
+		}
+		switch node := n.(type) {
+		case *ast.SendStmt:
+			op, pos = "channel send", node.Pos()
+		case *ast.UnaryExpr:
+			if node.Op == token.ARROW {
+				op, pos = "channel receive", node.Pos()
+			}
+		case *ast.SelectStmt:
+			op, pos = "select", node.Pos()
+		case *ast.RangeStmt:
+			if tv, ok := pkg.Info.Types[node.X]; ok {
+				if _, isChan := tv.Type.Underlying().(*types.Chan); isChan {
+					op, pos = "range over channel", node.Pos()
+				}
+			}
+		case *ast.CallExpr:
+			if path, name, ok := pkgFuncCall(pkg, node); ok && path == "time" && name == "Sleep" {
+				op, pos = "time.Sleep", node.Pos()
+				break
+			}
+			if sel, ok := node.Fun.(*ast.SelectorExpr); ok && sel.Sel.Name == "Wait" {
+				if s, ok := pkg.Info.Selections[sel]; ok {
+					named := namedOf(s.Recv())
+					if named != nil && named.Obj().Pkg() != nil &&
+						named.Obj().Pkg().Path() == "sync" && named.Obj().Name() == "WaitGroup" {
+						op, pos = "WaitGroup.Wait", node.Pos()
+					}
+				}
+			}
+		}
+		return op == ""
+	})
+	return op, pos, op != ""
+}

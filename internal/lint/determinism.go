@@ -1,0 +1,195 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// wallClockFuncs are the time package reads that leak wall-clock state into a
+// replay.
+var wallClockFuncs = map[string]bool{"Now": true, "Since": true, "Until": true}
+
+// orderedSinkMethods are method names that emit or accumulate ordered output;
+// calling one on an outer receiver from inside a map range leaks iteration
+// order into results.
+var orderedSinkMethods = map[string]bool{
+	"AddRow": true, "AddNote": true,
+	"Write": true, "WriteString": true, "WriteByte": true, "WriteRune": true,
+	"Printf": true, "Print": true, "Println": true,
+	"Encode": true,
+}
+
+// printFuncs are the fmt package's direct-output functions.
+var printFuncs = map[string]bool{
+	"Print": true, "Printf": true, "Println": true,
+	"Fprint": true, "Fprintf": true, "Fprintln": true,
+}
+
+// runDeterminism enforces the replay-determinism boundary: inside the
+// configured packages a replay must be a pure function of (trace, seed), so
+// wall-clock reads, the process-global math/rand generator, and map iteration
+// that feeds ordered output are all reported.
+func runDeterminism(cfg *Config, prog *Program) []Diagnostic {
+	var diags []Diagnostic
+	for _, pkg := range prog.Pkgs {
+		if !hasPrefixPath(pkg.ImportPath, cfg.DeterminismPkgs) {
+			continue
+		}
+		for _, fd := range funcDecls(pkg) {
+			diags = append(diags, determinismInFunc(prog, pkg, fd)...)
+		}
+	}
+	return diags
+}
+
+// determinismInFunc checks one function body.
+func determinismInFunc(prog *Program, pkg *Package, fd *ast.FuncDecl) []Diagnostic {
+	var diags []Diagnostic
+	report := func(pos token.Pos, format string, args ...any) {
+		diags = append(diags, Diagnostic{
+			Pos:  prog.Fset.Position(pos),
+			Rule: "determinism",
+			Msg:  fmt.Sprintf(format, args...),
+		})
+	}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch node := n.(type) {
+		case *ast.CallExpr:
+			if path, name, ok := pkgFuncCall(pkg, node); ok {
+				switch {
+				case path == "time" && wallClockFuncs[name]:
+					report(node.Pos(), "wall-clock time.%s in determinism-critical package (use trace timestamps or an injected clock)", name)
+				case (path == "math/rand" || path == "math/rand/v2") && !strings.HasPrefix(name, "New"):
+					report(node.Pos(), "process-global rand.%s in determinism-critical package (use a seeded *rand.Rand)", name)
+				}
+			}
+		case *ast.RangeStmt:
+			if tv, ok := pkg.Info.Types[node.X]; ok {
+				if _, isMap := tv.Type.Underlying().(*types.Map); isMap {
+					diags = append(diags, mapRangeOrderLeaks(prog, pkg, fd, node)...)
+				}
+			}
+		}
+		return true
+	})
+	return diags
+}
+
+// mapRangeOrderLeaks reports ways the body of a map range statement lets Go's
+// randomized iteration order reach rendered output or order-sensitive
+// accumulation. Collecting keys into a slice is fine when the slice is sorted
+// later in the same function (the required sorted-key idiom).
+func mapRangeOrderLeaks(prog *Program, pkg *Package, fd *ast.FuncDecl, rs *ast.RangeStmt) []Diagnostic {
+	var diags []Diagnostic
+	report := func(pos token.Pos, format string, args ...any) {
+		diags = append(diags, Diagnostic{
+			Pos:  prog.Fset.Position(pos),
+			Rule: "determinism",
+			Msg:  fmt.Sprintf(format, args...),
+		})
+	}
+	ast.Inspect(rs.Body, func(n ast.Node) bool {
+		switch node := n.(type) {
+		case *ast.AssignStmt:
+			switch node.Tok {
+			case token.ASSIGN:
+				if len(node.Lhs) == 1 && len(node.Rhs) == 1 && isAppendCall(pkg, node.Rhs[0]) {
+					obj := rootObject(pkg, node.Lhs[0])
+					if obj != nil && !declaredWithin(obj, rs) && !sortedAfter(pkg, fd, rs, obj) {
+						report(node.Pos(), "append to %s under map iteration without a later sort: iteration order leaks into the slice (sort keys first or sort the result)", obj.Name())
+					}
+				}
+			case token.ADD_ASSIGN, token.SUB_ASSIGN, token.MUL_ASSIGN, token.QUO_ASSIGN:
+				obj := rootObject(pkg, node.Lhs[0])
+				if obj == nil || declaredWithin(obj, rs) {
+					break
+				}
+				if tv, ok := pkg.Info.Types[node.Lhs[0]]; ok && orderSensitiveKind(tv.Type) {
+					report(node.Pos(), "order-dependent accumulation into %s under map iteration (iterate sorted keys)", obj.Name())
+				}
+			}
+		case *ast.CallExpr:
+			if path, name, ok := pkgFuncCall(pkg, node); ok && path == "fmt" && printFuncs[name] {
+				report(node.Pos(), "fmt.%s under map iteration emits output in random order (iterate sorted keys)", name)
+				break
+			}
+			if sel, ok := node.Fun.(*ast.SelectorExpr); ok && orderedSinkMethods[sel.Sel.Name] {
+				if s, ok := pkg.Info.Selections[sel]; ok && s.Kind() == types.MethodVal {
+					if obj := rootObject(pkg, sel.X); obj != nil && !declaredWithin(obj, rs) {
+						report(node.Pos(), "map iteration order feeds ordered output via %s.%s (iterate sorted keys)", obj.Name(), sel.Sel.Name)
+					}
+				}
+			}
+		}
+		return true
+	})
+	return diags
+}
+
+// isAppendCall reports whether expr is a call to the append builtin.
+func isAppendCall(pkg *Package, expr ast.Expr) bool {
+	call, ok := expr.(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	id, ok := call.Fun.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	b, ok := pkg.Info.Uses[id].(*types.Builtin)
+	return ok && b.Name() == "append"
+}
+
+// orderSensitiveKind reports whether accumulating values of type t is
+// sensitive to accumulation order (floats and strings; integer sums commute).
+func orderSensitiveKind(t types.Type) bool {
+	basic, ok := t.Underlying().(*types.Basic)
+	if !ok {
+		return false
+	}
+	switch basic.Kind() {
+	case types.Float32, types.Float64, types.Complex64, types.Complex128, types.String:
+		return true
+	}
+	return false
+}
+
+// sortedAfter reports whether obj is passed to a sort.* or slices.Sort* call
+// after rs within fd's body — the collect-then-sort idiom.
+func sortedAfter(pkg *Package, fd *ast.FuncDecl, rs *ast.RangeStmt, obj types.Object) bool {
+	found := false
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || call.Pos() < rs.End() || found {
+			return !found
+		}
+		path, name, ok := pkgFuncCall(pkg, call)
+		if !ok || (path != "sort" && path != "slices") || !strings.Contains(name, "Sort") && !isSortShorthand(path, name) {
+			return true
+		}
+		for _, arg := range call.Args {
+			if rootObject(pkg, arg) == obj {
+				found = true
+				return false
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// isSortShorthand covers sort's typed helpers that do not contain "Sort" in
+// their name.
+func isSortShorthand(path, name string) bool {
+	if path != "sort" {
+		return false
+	}
+	switch name {
+	case "Ints", "Strings", "Float64s", "Stable", "Slice", "SliceStable":
+		return true
+	}
+	return false
+}

@@ -1,0 +1,97 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+)
+
+// runErrcheck reports discarded error returns in the configured packages: a
+// call whose final result is an error, used as a bare statement, silently
+// drops a failure. Deferred calls and explicit `_ =` assignments are
+// intentional discards and are not flagged, and the infallible in-memory
+// writers (strings.Builder, bytes.Buffer) are exempt.
+func runErrcheck(cfg *Config, prog *Program) []Diagnostic {
+	var diags []Diagnostic
+	for _, pkg := range prog.Pkgs {
+		if !hasPrefixPath(pkg.ImportPath, cfg.ErrcheckPkgs) {
+			continue
+		}
+		for _, fd := range funcDecls(pkg) {
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				stmt, ok := n.(*ast.ExprStmt)
+				if !ok {
+					return true
+				}
+				call, ok := stmt.X.(*ast.CallExpr)
+				if !ok || !returnsError(pkg, call) || infallibleWriter(pkg, call) {
+					return true
+				}
+				diags = append(diags, Diagnostic{
+					Pos:  prog.Fset.Position(stmt.Pos()),
+					Rule: "errcheck",
+					Msg:  fmt.Sprintf("discarded error from %s (handle it or assign to _ explicitly)", types.ExprString(call.Fun)),
+				})
+				return true
+			})
+		}
+	}
+	return diags
+}
+
+// returnsError reports whether call's final result is of type error.
+func returnsError(pkg *Package, call *ast.CallExpr) bool {
+	tv, ok := pkg.Info.Types[call]
+	if !ok {
+		return false
+	}
+	switch t := tv.Type.(type) {
+	case *types.Tuple:
+		return t.Len() > 0 && isErrorType(t.At(t.Len()-1).Type())
+	default:
+		return isErrorType(t)
+	}
+}
+
+// infallibleWriter reports whether call writes to an in-memory buffer whose
+// Write methods never return a non-nil error: a method on strings.Builder or
+// bytes.Buffer, or an fmt.Fprint* whose writer is one of those.
+func infallibleWriter(pkg *Package, call *ast.CallExpr) bool {
+	if path, name, ok := pkgFuncCall(pkg, call); ok {
+		if path == "fmt" && (name == "Fprint" || name == "Fprintf" || name == "Fprintln") && len(call.Args) > 0 {
+			if tv, ok := pkg.Info.Types[call.Args[0]]; ok {
+				return isBufferType(tv.Type)
+			}
+		}
+		return false
+	}
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	s, ok := pkg.Info.Selections[sel]
+	if !ok || s.Kind() != types.MethodVal {
+		return false
+	}
+	return isBufferType(s.Recv())
+}
+
+// isBufferType reports whether t is strings.Builder or bytes.Buffer (possibly
+// via pointer).
+func isBufferType(t types.Type) bool {
+	named := namedOf(t)
+	if named == nil {
+		return false
+	}
+	obj := named.Obj()
+	if obj.Pkg() == nil {
+		return false
+	}
+	switch {
+	case obj.Pkg().Path() == "strings" && obj.Name() == "Builder":
+		return true
+	case obj.Pkg().Path() == "bytes" && obj.Name() == "Buffer":
+		return true
+	}
+	return false
+}

@@ -1,0 +1,231 @@
+// Package lint is darwinlint: a repo-specific static-analysis suite built
+// only on the standard library's go/parser, go/ast, go/types and go/token.
+// It machine-checks the invariants Darwin's results depend on:
+//
+//   - determinism: no wall-clock reads, no global math/rand, and no map
+//     iteration feeding ordered output inside the replay-critical packages —
+//     every figure must be bit-reproducible from (trace, seed);
+//   - hotpath: no fmt, string concatenation, closure capture or
+//     container/list in functions reachable from the cache request loop
+//     (Hierarchy.Serve / Eviction.Hit), protecting the 0-alloc serve path;
+//   - locking: fields and package vars annotated "guarded by <mu>" are only
+//     touched by functions that lock that mutex;
+//   - errcheck: no silently discarded error returns in the experiment and
+//     server packages;
+//   - ctxfirst: exported blocking functions in the concurrency packages take
+//     a context.Context as their first parameter.
+//
+// A diagnostic on line N is suppressed by a directive on line N or N-1:
+//
+//	//lint:ignore <rule> <reason>
+//
+// The reason is mandatory; malformed directives are themselves reported.
+package lint
+
+import (
+	"fmt"
+	"go/token"
+	"sort"
+	"strings"
+)
+
+// Diagnostic is one analyzer finding.
+type Diagnostic struct {
+	// Pos locates the finding.
+	Pos token.Position
+	// Rule names the analyzer (determinism, hotpath, locking, errcheck,
+	// ctxfirst, directive).
+	Rule string
+	// Msg describes the violation.
+	Msg string
+}
+
+// String renders the diagnostic in file:line:col: [rule] message form.
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d:%d: [%s] %s", d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Rule, d.Msg)
+}
+
+// Config scopes each rule to the packages where its invariant holds. Paths
+// are import-path prefixes ("darwin/internal/cache" covers the package and
+// any subpackages).
+type Config struct {
+	// DeterminismPkgs are the replay-critical packages: wall-clock reads,
+	// global math/rand and order-sensitive map iteration are forbidden there.
+	DeterminismPkgs []string
+	// HotPathRoots are the entry points of the allocation-free request loop,
+	// written "pkgpath.Func" or "pkgpath.Type.Method"
+	// (e.g. "darwin/internal/cache.Hierarchy.Serve").
+	HotPathRoots []string
+	// ErrcheckPkgs are packages where discarding an error return is an error.
+	ErrcheckPkgs []string
+	// CtxFirstPkgs are packages whose exported blocking functions must take a
+	// context.Context first.
+	CtxFirstPkgs []string
+}
+
+// DefaultConfig returns the repository's enforced configuration: the
+// determinism boundary, the cache hot path, and the concurrency packages.
+func DefaultConfig() Config {
+	return Config{
+		DeterminismPkgs: []string{
+			"darwin/internal/cache",
+			"darwin/internal/tracegen",
+			"darwin/internal/trace",
+			"darwin/internal/exp",
+			"darwin/internal/bandit",
+			"darwin/internal/neural",
+			"darwin/internal/cluster",
+		},
+		HotPathRoots: []string{
+			"darwin/internal/cache.Hierarchy.Serve",
+			"darwin/internal/cache.Eviction.Hit",
+		},
+		ErrcheckPkgs: []string{
+			"darwin/internal/exp",
+			"darwin/internal/server",
+		},
+		CtxFirstPkgs: []string{
+			"darwin/internal/par",
+			"darwin/internal/server",
+		},
+	}
+}
+
+// FixturePrefix is the import-path prefix fixture packages are loaded under,
+// so per-fixture configs can scope rules to them.
+const FixturePrefix = "darwin/internal/lint/testdata/"
+
+// FixtureConfig returns the configuration that enables exactly the rule the
+// named testdata fixture exercises (locking always runs; it only fires on
+// guarded-by annotations, which other fixtures lack). Shared between the
+// golden-fixture tests and darwinlint's -fixture mode.
+func FixtureConfig(name string) Config {
+	path := FixturePrefix + name
+	switch name {
+	case "determinism", "suppress":
+		return Config{DeterminismPkgs: []string{path}}
+	case "hotpath":
+		return Config{HotPathRoots: []string{path + ".H.Serve", path + ".Ev.Hit"}}
+	case "errcheck":
+		return Config{ErrcheckPkgs: []string{path}}
+	case "ctxfirst":
+		return Config{CtxFirstPkgs: []string{path}}
+	}
+	return Config{}
+}
+
+// An analyzer inspects a whole Program and reports diagnostics.
+type analyzer struct {
+	name string
+	run  func(cfg *Config, prog *Program) []Diagnostic
+}
+
+// analyzers lists every rule in execution order.
+func analyzers() []analyzer {
+	return []analyzer{
+		{"determinism", runDeterminism},
+		{"hotpath", runHotPath},
+		{"locking", runLocking},
+		{"errcheck", runErrcheck},
+		{"ctxfirst", runCtxFirst},
+	}
+}
+
+// Run executes every analyzer over prog, applies //lint:ignore suppressions,
+// and returns the surviving diagnostics sorted by position.
+func Run(prog *Program, cfg Config) []Diagnostic {
+	var diags []Diagnostic
+	for _, a := range analyzers() {
+		diags = append(diags, a.run(&cfg, prog)...)
+	}
+	sup := collectSuppressions(prog)
+	diags = append(diags, sup.malformed...)
+	kept := diags[:0]
+	for _, d := range diags {
+		if d.Rule != "directive" && sup.suppressed(d) {
+			continue
+		}
+		kept = append(kept, d)
+	}
+	sort.Slice(kept, func(i, j int) bool {
+		a, b := kept[i], kept[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Rule < b.Rule
+	})
+	return kept
+}
+
+// hasPrefixPath reports whether importPath is path or a subpackage of any
+// entry in prefixes.
+func hasPrefixPath(importPath string, prefixes []string) bool {
+	for _, p := range prefixes {
+		if importPath == p || strings.HasPrefix(importPath, p+"/") {
+			return true
+		}
+	}
+	return false
+}
+
+// suppressions maps file:line to the set of rules ignored there.
+type suppressions struct {
+	byLine    map[string]map[int][]string
+	malformed []Diagnostic
+}
+
+// collectSuppressions scans every comment group for //lint:ignore directives.
+func collectSuppressions(prog *Program) *suppressions {
+	s := &suppressions{byLine: make(map[string]map[int][]string)}
+	for _, pkg := range prog.Pkgs {
+		for _, f := range pkg.Files {
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					rest, ok := strings.CutPrefix(c.Text, "//lint:ignore")
+					if !ok {
+						continue
+					}
+					pos := prog.Fset.Position(c.Pos())
+					fields := strings.Fields(rest)
+					if len(fields) < 2 {
+						s.malformed = append(s.malformed, Diagnostic{
+							Pos:  pos,
+							Rule: "directive",
+							Msg:  "malformed //lint:ignore directive: need a rule name and a reason",
+						})
+						continue
+					}
+					if s.byLine[pos.Filename] == nil {
+						s.byLine[pos.Filename] = make(map[int][]string)
+					}
+					rules := strings.Split(fields[0], ",")
+					s.byLine[pos.Filename][pos.Line] = append(s.byLine[pos.Filename][pos.Line], rules...)
+				}
+			}
+		}
+	}
+	return s
+}
+
+// suppressed reports whether d is covered by a directive on its own line or
+// the line directly above it.
+func (s *suppressions) suppressed(d Diagnostic) bool {
+	lines := s.byLine[d.Pos.Filename]
+	if lines == nil {
+		return false
+	}
+	for _, line := range []int{d.Pos.Line, d.Pos.Line - 1} {
+		for _, rule := range lines[line] {
+			if rule == d.Rule || rule == "*" {
+				return true
+			}
+		}
+	}
+	return false
+}

@@ -1,0 +1,245 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Package is one type-checked module package: its syntax trees plus the
+// types.Info the analyzers resolve identifiers and expressions through.
+type Package struct {
+	// Dir is the package directory on disk.
+	Dir string
+	// ImportPath is the module-relative import path (e.g. darwin/internal/cache).
+	ImportPath string
+	// Files are the parsed non-test sources.
+	Files []*ast.File
+	// Types is the type-checked package.
+	Types *types.Package
+	// Info holds identifier/expression resolution for Files.
+	Info *types.Info
+}
+
+// Program is a loaded module: every package the analyzers may inspect, plus
+// the shared FileSet that positions resolve through.
+type Program struct {
+	Fset *token.FileSet
+	// Pkgs lists the loaded module packages in deterministic (import path)
+	// order.
+	Pkgs []*Package
+}
+
+// Loader type-checks module packages using only the standard library: module
+// imports are resolved recursively from the module tree, everything else is
+// delegated to the stdlib source importer.
+type Loader struct {
+	fset       *token.FileSet
+	moduleRoot string
+	modulePath string
+	std        types.Importer
+	pkgs       map[string]*Package // completed module packages by import path
+	loading    map[string]bool     // cycle detection
+}
+
+// NewLoader builds a loader for the module rooted at root (the directory
+// containing go.mod).
+func NewLoader(root string) (*Loader, error) {
+	abs, err := filepath.Abs(root)
+	if err != nil {
+		return nil, err
+	}
+	modPath, err := readModulePath(filepath.Join(abs, "go.mod"))
+	if err != nil {
+		return nil, err
+	}
+	fset := token.NewFileSet()
+	return &Loader{
+		fset:       fset,
+		moduleRoot: abs,
+		modulePath: modPath,
+		std:        importer.ForCompiler(fset, "source", nil),
+		pkgs:       make(map[string]*Package),
+		loading:    make(map[string]bool),
+	}, nil
+}
+
+// readModulePath extracts the module path from a go.mod file.
+func readModulePath(gomod string) (string, error) {
+	data, err := os.ReadFile(gomod)
+	if err != nil {
+		return "", fmt.Errorf("lint: reading %s: %w", gomod, err)
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if rest, ok := strings.CutPrefix(line, "module "); ok {
+			return strings.TrimSpace(rest), nil
+		}
+	}
+	return "", fmt.Errorf("lint: no module directive in %s", gomod)
+}
+
+// Fset returns the loader's shared FileSet.
+func (l *Loader) Fset() *token.FileSet { return l.fset }
+
+// ModulePath returns the module path from go.mod.
+func (l *Loader) ModulePath() string { return l.modulePath }
+
+// Import implements types.Importer, routing module-local paths to the module
+// tree and everything else to the stdlib source importer.
+func (l *Loader) Import(path string) (*types.Package, error) {
+	if dir, ok := l.moduleDir(path); ok {
+		pkg, err := l.load(dir, path)
+		if err != nil {
+			return nil, err
+		}
+		return pkg.Types, nil
+	}
+	return l.std.Import(path)
+}
+
+// moduleDir maps a module-local import path to its directory.
+func (l *Loader) moduleDir(path string) (string, bool) {
+	if path == l.modulePath {
+		return l.moduleRoot, true
+	}
+	if rest, ok := strings.CutPrefix(path, l.modulePath+"/"); ok {
+		return filepath.Join(l.moduleRoot, filepath.FromSlash(rest)), true
+	}
+	return "", false
+}
+
+// LoadAll loads every package in the module tree (skipping testdata, hidden
+// and underscore-prefixed directories) and returns them as a Program.
+func (l *Loader) LoadAll() (*Program, error) {
+	var dirs []string
+	err := filepath.WalkDir(l.moduleRoot, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if !d.IsDir() {
+			return nil
+		}
+		name := d.Name()
+		if path != l.moduleRoot && (name == "testdata" || strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_")) {
+			return filepath.SkipDir
+		}
+		if hasGoFiles(path) {
+			dirs = append(dirs, path)
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	sort.Strings(dirs)
+	prog := &Program{Fset: l.fset}
+	for _, dir := range dirs {
+		ip := l.importPathFor(dir)
+		pkg, err := l.load(dir, ip)
+		if err != nil {
+			return nil, err
+		}
+		prog.Pkgs = append(prog.Pkgs, pkg)
+	}
+	return prog, nil
+}
+
+// LoadDirAs loads the package in dir under an explicit import path. Fixture
+// tests use it to place testdata packages at rule-covered paths.
+func (l *Loader) LoadDirAs(dir, importPath string) (*Package, error) {
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return nil, err
+	}
+	return l.load(abs, importPath)
+}
+
+// importPathFor derives the import path of a module directory.
+func (l *Loader) importPathFor(dir string) string {
+	rel, err := filepath.Rel(l.moduleRoot, dir)
+	if err != nil || rel == "." {
+		return l.modulePath
+	}
+	return l.modulePath + "/" + filepath.ToSlash(rel)
+}
+
+// hasGoFiles reports whether dir contains at least one non-test .go file.
+func hasGoFiles(dir string) bool {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return false
+	}
+	for _, e := range ents {
+		if isSourceFile(e) {
+			return true
+		}
+	}
+	return false
+}
+
+// isSourceFile reports whether e is a non-test Go source file.
+func isSourceFile(e os.DirEntry) bool {
+	name := e.Name()
+	return !e.IsDir() && strings.HasSuffix(name, ".go") && !strings.HasSuffix(name, "_test.go") &&
+		!strings.HasPrefix(name, ".") && !strings.HasPrefix(name, "_")
+}
+
+// load parses and type-checks one package directory (memoised; detects import
+// cycles).
+func (l *Loader) load(dir, importPath string) (*Package, error) {
+	if pkg, ok := l.pkgs[importPath]; ok {
+		return pkg, nil
+	}
+	if l.loading[importPath] {
+		return nil, fmt.Errorf("lint: import cycle through %s", importPath)
+	}
+	l.loading[importPath] = true
+	defer delete(l.loading, importPath)
+
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var files []*ast.File
+	for _, e := range ents {
+		if !isSourceFile(e) {
+			continue
+		}
+		f, err := parser.ParseFile(l.fset, filepath.Join(dir, e.Name()), nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("lint: no Go files in %s", dir)
+	}
+
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Scopes:     make(map[ast.Node]*types.Scope),
+	}
+	var typeErrs []error
+	conf := types.Config{
+		Importer: l,
+		Error:    func(err error) { typeErrs = append(typeErrs, err) },
+	}
+	tpkg, _ := conf.Check(importPath, l.fset, files, info)
+	if len(typeErrs) > 0 {
+		return nil, fmt.Errorf("lint: type-checking %s: %v", importPath, typeErrs[0])
+	}
+	pkg := &Package{Dir: dir, ImportPath: importPath, Files: files, Types: tpkg, Info: info}
+	l.pkgs[importPath] = pkg
+	return pkg, nil
+}

@@ -1,0 +1,42 @@
+// Package ctxfirst is a darwinlint golden fixture for the context-first rule
+// on exported blocking functions.
+package ctxfirst
+
+import (
+	"context"
+	"net/http"
+	"sync"
+	"time"
+)
+
+func BadSleep(d time.Duration) {
+	time.Sleep(d) /* want "time.Sleep. but takes no context.Context" */
+}
+
+func BadWait() {
+	var wg sync.WaitGroup
+	wg.Wait() /* want "WaitGroup.Wait. but takes no context.Context" */
+}
+
+func BadOrder(n int, ctx context.Context) { /* want "context.Context must be the first parameter" */
+	_ = n
+}
+
+func GoodDo(ctx context.Context, ch chan int) {
+	select {
+	case <-ch:
+	case <-ctx.Done():
+	}
+}
+
+func internalWait() { // unexported: the rule only covers the package API
+	var wg sync.WaitGroup
+	wg.Wait()
+}
+
+type handler struct{}
+
+// ServeHTTP is exempt: handlers receive their context inside *http.Request.
+func (handler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	time.Sleep(time.Millisecond)
+}

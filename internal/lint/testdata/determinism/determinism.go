@@ -1,0 +1,83 @@
+// Package determinism is a darwinlint golden fixture: each marked line must
+// produce the matching diagnostic, unmarked lines must stay clean.
+package determinism
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+	"time"
+)
+
+func wallClock() int64 {
+	return time.Now().Unix() /* want "wall-clock time.Now" */
+}
+
+func wallElapsed(t0 time.Time) time.Duration {
+	return time.Since(t0) /* want "wall-clock time.Since" */
+}
+
+func globalRand() int {
+	return rand.Intn(10) /* want "process-global rand.Intn" */
+}
+
+func seededRandOK(seed int64) int {
+	rng := rand.New(rand.NewSource(seed))
+	return rng.Intn(10)
+}
+
+func leakAppend(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k) /* want "append to keys under map iteration" */
+	}
+	return keys
+}
+
+func sortedKeysOK(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+func leakFloatSum(m map[string]float64) float64 {
+	var sum float64
+	for _, v := range m {
+		sum += v /* want "order-dependent accumulation into sum" */
+	}
+	return sum
+}
+
+func intSumOK(m map[string]int) int {
+	sum := 0
+	for _, v := range m {
+		sum += v
+	}
+	return sum
+}
+
+func leakPrint(m map[string]int) {
+	for k, v := range m {
+		fmt.Println(k, v) /* want "fmt.Println under map iteration" */
+	}
+}
+
+func leakSink(m map[string]int) string {
+	var sb strings.Builder
+	for k := range m {
+		sb.WriteString(k) /* want "ordered output via sb.WriteString" */
+	}
+	return sb.String()
+}
+
+func localSinkOK(m map[string]int) {
+	for k := range m {
+		var sb strings.Builder
+		sb.WriteString(k)
+		_ = sb.String()
+	}
+}

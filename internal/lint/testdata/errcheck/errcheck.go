@@ -1,0 +1,40 @@
+// Package errcheck is a darwinlint golden fixture for the discarded-error
+// rule.
+package errcheck
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+)
+
+func fail() error { return errors.New("boom") }
+
+func multi() (int, error) { return 1, nil }
+
+func bad() {
+	fail() /* want "discarded error from fail" */
+}
+
+func badMulti() {
+	multi() /* want "discarded error from multi" */
+}
+
+func okHandled() error {
+	return fail()
+}
+
+func okExplicit() {
+	_ = fail()
+}
+
+func okDeferred() {
+	defer fail()
+}
+
+func okBuilder() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "x=%d", 1)
+	sb.WriteString("y")
+	return sb.String()
+}

@@ -1,0 +1,57 @@
+// Package hotpath is a darwinlint golden fixture for the hot-path allocation
+// rule: the configured roots are H.Serve and the Ev.Hit interface method, so
+// every function below except cold() is on the hot path.
+package hotpath
+
+import (
+	"container/list"
+	"fmt"
+)
+
+// Ev mirrors the cache's Eviction interface; the fixture root Ev.Hit must
+// fan out to the concrete implementation.
+type Ev interface {
+	Hit(id uint64) bool
+}
+
+// ListEv implements Ev on container/list, which is banned on the hot path.
+type ListEv struct {
+	l *list.List
+}
+
+// Hit is reachable via the Ev.Hit interface root.
+func (e *ListEv) Hit(id uint64) bool {
+	e.l.PushFront(id) /* want "container/list" */
+	return true
+}
+
+// H mirrors the Hierarchy shape.
+type H struct {
+	ev Ev
+	n  int
+}
+
+// Serve is a configured hot-path root.
+func (h *H) Serve(id uint64) string {
+	if h.ev.Hit(id) {
+		return describe(id)
+	}
+	get := func() int { return h.n } /* want "closure captures h" */
+	_ = get()
+	return "miss:" + suffix(id) /* want "string concatenation allocates" */
+}
+
+func describe(id uint64) string {
+	return fmt.Sprintf("obj-%d", id) /* want "fmt.Sprintf allocates" */
+}
+
+func suffix(id uint64) string {
+	s := "x"
+	s += "y" /* want "string concatenation allocates" */
+	return s
+}
+
+// cold is not reachable from any root; its allocations are fine.
+func cold() string {
+	return fmt.Sprintf("cold-%d", 1)
+}

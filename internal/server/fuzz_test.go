@@ -1,0 +1,48 @@
+package server
+
+import (
+	"net/http"
+	"net/url"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// FuzzParseObjectURL throws arbitrary paths and size parameters at the
+// proxy/origin URL parser. Properties: it never panics, it never accepts a
+// path outside /obj/<id>, and an accepted request round-trips — rebuilding
+// the URL from the parsed (id, size) reproduces the input.
+func FuzzParseObjectURL(f *testing.F) {
+	f.Add("/obj/7", "13")
+	f.Add("/obj/18446744073709551615", "0")
+	f.Add("/obj/", "10")
+	f.Add("/obj/-1", "10")
+	f.Add("/obj/1e3", "10")
+	f.Add("/other/1", "10")
+	f.Add("/obj/1", "-5")
+	f.Add("/obj/1", "")
+	f.Add("/obj/007", "1")
+	f.Fuzz(func(t *testing.T, path, size string) {
+		r := &http.Request{URL: &url.URL{Path: path, RawQuery: "size=" + url.QueryEscape(size)}}
+		id, sz, err := parseObjectURL(r)
+		if err != nil {
+			return
+		}
+		if !strings.HasPrefix(path, "/obj/") {
+			t.Fatalf("accepted path %q without /obj/ prefix", path)
+		}
+		if sz < 0 {
+			t.Fatalf("accepted negative size %d from %q", sz, size)
+		}
+		// The id portion must parse back to the same value. (Leading zeros
+		// and "+" are accepted by ParseUint, so compare values, not strings.)
+		back, perr := strconv.ParseUint(path[len("/obj/"):], 10, 64)
+		if perr != nil || back != id {
+			t.Fatalf("parseObjectURL(%q) = id %d, but id segment reparses to (%d, %v)", path, id, back, perr)
+		}
+		gotSize, serr := strconv.ParseInt(size, 10, 64)
+		if serr != nil || gotSize != sz {
+			t.Fatalf("parseObjectURL size %d disagrees with query %q (%v)", sz, size, serr)
+		}
+	})
+}

@@ -1,6 +1,7 @@
 package server
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"io"
@@ -102,7 +103,9 @@ func classify(res *LoadResult, err error) {
 
 // RunLoad replays tr against a proxy with the configured concurrency,
 // measuring first-byte latency per request and classifying failures.
-func RunLoad(tr *trace.Trace, cfg LoadConfig) (LoadResult, error) {
+// Cancelling ctx stops dispatching new requests; in-flight requests drain
+// before RunLoad returns the partial result and ctx.Err().
+func RunLoad(ctx context.Context, tr *trace.Trace, cfg LoadConfig) (LoadResult, error) {
 	if cfg.Concurrency <= 0 {
 		return LoadResult{}, fmt.Errorf("server: concurrency must be > 0")
 	}
@@ -151,7 +154,7 @@ func RunLoad(tr *trace.Trace, cfg LoadConfig) (LoadResult, error) {
 				m, rerr = resp.Body.Read(buf)
 				n += int64(m)
 			}
-			resp.Body.Close()
+			_ = resp.Body.Close() // body fully drained above; close can't fail usefully
 			mu.Lock()
 			switch {
 			case resp.StatusCode >= 400:
@@ -182,11 +185,18 @@ func RunLoad(tr *trace.Trace, cfg LoadConfig) (LoadResult, error) {
 	for i := 0; i < cfg.Concurrency; i++ {
 		go worker()
 	}
+	var dispatchErr error
+dispatch:
 	for _, r := range tr.Requests {
-		work <- r
+		select {
+		case work <- r:
+		case <-ctx.Done():
+			dispatchErr = ctx.Err()
+			break dispatch
+		}
 	}
 	close(work)
 	wg.Wait()
 	res.Wall = time.Since(begin)
-	return res, nil
+	return res, dispatchErr
 }

@@ -1,6 +1,7 @@
 package server
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"net/http"
@@ -56,17 +57,17 @@ func TestParseObjectURLEdgeCases(t *testing.T) {
 	}{
 		{"/obj/7?size=0", 7, 0, true},
 		{"/obj/18446744073709551615?size=1", 1<<64 - 1, 1, true},
-		{"/obj/", 0, 0, false},                     // empty id
-		{"/obj", 0, 0, false},                      // prefix only
-		{"/obj/abc?size=10", 0, 0, false},          // non-numeric id
-		{"/obj/-1?size=10", 0, 0, false},           // negative id
+		{"/obj/", 0, 0, false},                            // empty id
+		{"/obj", 0, 0, false},                             // prefix only
+		{"/obj/abc?size=10", 0, 0, false},                 // non-numeric id
+		{"/obj/-1?size=10", 0, 0, false},                  // negative id
 		{"/obj/18446744073709551616?size=1", 0, 0, false}, // id overflow
-		{"/obj/1", 0, 0, false},                    // missing size
-		{"/obj/1?size=", 0, 0, false},              // empty size
-		{"/obj/1?size=-5", 0, 0, false},            // negative size
-		{"/obj/1?size=x", 0, 0, false},             // non-numeric size
-		{"/obj/1/2?size=5", 0, 0, false},           // overlong path
-		{"/other/1?size=5", 0, 0, false},           // wrong prefix
+		{"/obj/1", 0, 0, false},                           // missing size
+		{"/obj/1?size=", 0, 0, false},                     // empty size
+		{"/obj/1?size=-5", 0, 0, false},                   // negative size
+		{"/obj/1?size=x", 0, 0, false},                    // non-numeric size
+		{"/obj/1/2?size=5", 0, 0, false},                  // overlong path
+		{"/other/1?size=5", 0, 0, false},                  // wrong prefix
 	}
 	for _, c := range cases {
 		r := httptest.NewRequest(http.MethodGet, c.url, nil)
@@ -352,7 +353,7 @@ func TestRunLoadClassification(t *testing.T) {
 	for id := uint64(0); id < 40; id++ {
 		reqs = append(reqs, trace.Request{ID: id, Size: 4000})
 	}
-	res, err := RunLoad(&trace.Trace{Requests: reqs}, LoadConfig{ProxyURL: srv.URL, Concurrency: 4})
+	res, err := RunLoad(context.Background(), &trace.Trace{Requests: reqs}, LoadConfig{ProxyURL: srv.URL, Concurrency: 4})
 	if err != nil {
 		t.Fatal(err)
 	}

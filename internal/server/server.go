@@ -92,7 +92,7 @@ func (o *Origin) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	o.account(size)
 	w.Header().Set("Content-Length", strconv.FormatInt(size, 10))
 	w.WriteHeader(http.StatusOK)
-	writeBody(w, size)
+	_ = writeBody(w, size) // client went away; nothing useful to do with the error
 }
 
 // Stats returns the origin's served request and byte counts (midgress).
@@ -218,10 +218,10 @@ type Proxy struct {
 	// res.StaleCap — the prototype's serve-stale store (bodies are
 	// deterministic, so only membership must be remembered).
 	staleMu sync.Mutex
-	stale   map[uint64]int64
+	stale   map[uint64]int64 // guarded by staleMu
 
 	rngMu sync.Mutex
-	rng   *rand.Rand
+	rng   *rand.Rand // guarded by rngMu; retry jitter only
 
 	originFetches, retries, fetchFailures atomic.Int64
 	coalesced, staleServes, proxyErrors   atomic.Int64
@@ -326,7 +326,7 @@ func (p *Proxy) serveLocal(w http.ResponseWriter, res cache.Result, size int64) 
 	}
 	w.Header().Set("Content-Length", strconv.FormatInt(size, 10))
 	w.WriteHeader(http.StatusOK)
-	writeBody(w, size)
+	_ = writeBody(w, size) // client went away; nothing useful to do with the error
 }
 
 // serveResilient is the hardened miss path: probe residency without mutating
@@ -424,7 +424,7 @@ func (p *Proxy) fetchResilient(ctx context.Context, id uint64, size int64) error
 	if !p.res.Coalesce {
 		return p.fetchRetry(ctx, id, size)
 	}
-	err, shared := p.flights.Do(flightKey{id: id, size: size}, func() error {
+	err, shared := p.flights.do(flightKey{id: id, size: size}, func() error {
 		return p.fetchRetry(context.Background(), id, size)
 	})
 	if shared {
@@ -509,7 +509,7 @@ func (p *Proxy) fetchDiscard(ctx context.Context, id uint64, size int64) error {
 	}
 	defer resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
-		io.CopyN(io.Discard, resp.Body, 1<<10)
+		_, _ = io.CopyN(io.Discard, resp.Body, 1<<10) // best-effort drain so the connection can be reused
 		return fmt.Errorf("server: origin status %d", resp.StatusCode)
 	}
 	n, err := io.Copy(io.Discard, resp.Body)
@@ -540,7 +540,7 @@ func (p *Proxy) fetchOriginStream(w http.ResponseWriter, r *http.Request, id uin
 	}
 	defer resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
-		io.CopyN(io.Discard, resp.Body, 1<<10)
+		_, _ = io.CopyN(io.Discard, resp.Body, 1<<10) // best-effort drain so the connection can be reused
 		return false, fmt.Errorf("server: origin status %d", resp.StatusCode)
 	}
 	if cl := resp.Header.Get("Content-Length"); cl != "" {

@@ -1,6 +1,7 @@
 package server
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"net/http"
@@ -142,7 +143,7 @@ func TestRunLoadBasics(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := RunLoad(tr, LoadConfig{ProxyURL: proxySrv.URL, Concurrency: 8})
+	res, err := RunLoad(context.Background(), tr, LoadConfig{ProxyURL: proxySrv.URL, Concurrency: 8})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -175,10 +176,10 @@ func TestRunLoadBasics(t *testing.T) {
 
 func TestRunLoadValidation(t *testing.T) {
 	tr := &trace.Trace{Requests: []trace.Request{{ID: 1, Size: 1}}}
-	if _, err := RunLoad(tr, LoadConfig{ProxyURL: "http://x", Concurrency: 0}); err == nil {
+	if _, err := RunLoad(context.Background(), tr, LoadConfig{ProxyURL: "http://x", Concurrency: 0}); err == nil {
 		t.Error("zero concurrency accepted")
 	}
-	if _, err := RunLoad(&trace.Trace{}, LoadConfig{ProxyURL: "http://x", Concurrency: 1}); err == nil {
+	if _, err := RunLoad(context.Background(), &trace.Trace{}, LoadConfig{ProxyURL: "http://x", Concurrency: 1}); err == nil {
 		t.Error("empty trace accepted")
 	}
 }
@@ -189,7 +190,7 @@ func TestRunLoadCountsErrors(t *testing.T) {
 	}))
 	defer srv.Close()
 	tr := &trace.Trace{Requests: []trace.Request{{ID: 1, Size: 10}, {ID: 2, Size: 10}}}
-	res, err := RunLoad(tr, LoadConfig{ProxyURL: srv.URL, Concurrency: 2})
+	res, err := RunLoad(context.Background(), tr, LoadConfig{ProxyURL: srv.URL, Concurrency: 2})
 	if err != nil {
 		t.Fatal(err)
 	}

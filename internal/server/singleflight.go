@@ -23,10 +23,10 @@ type flightGroup struct {
 	m  map[flightKey]*flightCall
 }
 
-// Do executes fn once per key among concurrent callers, returning fn's error
+// do executes fn once per key among concurrent callers, returning fn's error
 // to every waiter. shared reports whether this caller piggybacked on another
 // caller's fetch rather than performing its own.
-func (g *flightGroup) Do(key flightKey, fn func() error) (err error, shared bool) {
+func (g *flightGroup) do(key flightKey, fn func() error) (err error, shared bool) {
 	g.mu.Lock()
 	if g.m == nil {
 		g.m = make(map[flightKey]*flightCall)
