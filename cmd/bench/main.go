@@ -4,8 +4,10 @@
 // Bloom filters) with testing.Benchmark, then measures wall-clock for the
 // embarrassingly parallel sweeps (expert-grid evaluation, the Figure 2 panel
 // suite) serial vs parallel, asserting along the way that both paths produce
-// identical output. Results are written as machine-readable JSON so runs can
-// be diffed across commits; see the committed BENCH_*.json baselines.
+// identical output, and finally measures end-to-end HTTP proxy throughput at
+// concurrency 64 with the global-lock (shards=1) vs sharded cache engine.
+// Results are written as machine-readable JSON so runs can be diffed across
+// commits; see the committed BENCH_*.json baselines.
 //
 // Usage:
 //
@@ -22,11 +24,16 @@ import (
 	"testing"
 	"time"
 
+	"context"
+	"net/http/httptest"
+
+	"darwin/internal/baselines"
 	"darwin/internal/bloom"
 	"darwin/internal/cache"
 	"darwin/internal/exp"
 	"darwin/internal/features"
 	"darwin/internal/par"
+	"darwin/internal/server"
 	"darwin/internal/trace"
 )
 
@@ -51,17 +58,32 @@ type Sweep struct {
 	OutputIdentical bool    `json:"output_identical"`
 }
 
+// ProxyBench is one HTTP-proxy throughput measurement: a closed-loop load
+// run at fixed concurrency against a static-expert proxy whose cache engine
+// uses the given shard count (1 = the legacy global-lock data plane).
+type ProxyBench struct {
+	Name           string  `json:"name"`
+	Shards         int     `json:"shards"`
+	Concurrency    int     `json:"concurrency"`
+	Requests       int     `json:"requests"`
+	Errors         int     `json:"errors"`
+	ThroughputMbps float64 `json:"throughput_mbps"`
+	ReqPerSec      float64 `json:"req_per_sec"`
+	P99Millis      float64 `json:"p99_ms"`
+}
+
 // Report is the full benchmark record.
 type Report struct {
-	Date        string  `json:"date"`
-	GoVersion   string  `json:"go_version"`
-	GOOS        string  `json:"goos"`
-	GOARCH      string  `json:"goarch"`
-	NumCPU      int     `json:"num_cpu"`
-	GOMAXPROCS  int     `json:"gomaxprocs"`
-	Parallelism int     `json:"parallelism"`
-	Micro       []Micro `json:"micro"`
-	Sweeps      []Sweep `json:"sweeps"`
+	Date        string       `json:"date"`
+	GoVersion   string       `json:"go_version"`
+	GOOS        string       `json:"goos"`
+	GOARCH      string       `json:"goarch"`
+	NumCPU      int          `json:"num_cpu"`
+	GOMAXPROCS  int          `json:"gomaxprocs"`
+	Parallelism int          `json:"parallelism"`
+	Micro       []Micro      `json:"micro"`
+	Sweeps      []Sweep      `json:"sweeps"`
+	Proxy       []ProxyBench `json:"proxy"`
 }
 
 func main() {
@@ -124,6 +146,23 @@ func main() {
 		if !s.OutputIdentical {
 			fatal(fmt.Errorf("sweep %s: parallel output differs from serial", s.Name))
 		}
+	}
+
+	fmt.Println("\n== proxy throughput (concurrency 64, global lock vs sharded) ==")
+	// The sharded arm uses NumCPU shards but never fewer than 4, so the
+	// lock-striping comparison stays meaningful on small containers.
+	shardArm := runtime.NumCPU()
+	if shardArm < 4 {
+		shardArm = 4
+	}
+	for _, shards := range []int{1, shardArm} {
+		pb, err := benchProxy(shards, 64)
+		if err != nil {
+			fatal(err)
+		}
+		rep.Proxy = append(rep.Proxy, pb)
+		fmt.Printf("  %-24s %8.1f Mbps  %8.0f req/s  p99 %6.2f ms  errors %d\n",
+			pb.Name, pb.ThroughputMbps, pb.ReqPerSec, pb.P99Millis, pb.Errors)
 	}
 
 	data, err := json.MarshalIndent(rep, "", "  ")
@@ -280,6 +319,47 @@ func sweepFig2(parallelism int) (Sweep, error) {
 		ParallelSeconds: parallelDur.Seconds(),
 		Speedup:         serialDur.Seconds() / parallelDur.Seconds(),
 		OutputIdentical: serialOut == parallelOut,
+	}, nil
+}
+
+// benchProxy measures end-to-end proxy throughput for a static-expert
+// decider over a cache engine with the given shard count: shards=1 is the
+// legacy global-lock data plane (a single-shard engine serializes exactly
+// like the old proxy mutex), shards=N stripes the object space. Latencies
+// are zeroed so lock contention — not injected delay — bounds throughput.
+func benchProxy(shards, concurrency int) (ProxyBench, error) {
+	tr, err := exp.SyntheticMix(50, 30_000, 11)
+	if err != nil {
+		return ProxyBench{}, err
+	}
+	dec, err := baselines.NewStaticSharded(cache.Expert{Freq: 1, MaxSize: 1 << 20},
+		cache.EvalConfig{HOCBytes: 256 << 10, DCBytes: 32 << 20}, shards)
+	if err != nil {
+		return ProxyBench{}, err
+	}
+	origin := &server.Origin{}
+	originSrv := httptest.NewServer(origin)
+	defer originSrv.Close()
+	proxy := server.NewProxy(dec, originSrv.URL, 0)
+	proxySrv := httptest.NewServer(proxy)
+	defer proxySrv.Close()
+	res, err := server.RunLoad(context.Background(), tr, server.LoadConfig{
+		ProxyURL:    proxySrv.URL,
+		Concurrency: concurrency,
+	})
+	if err != nil {
+		return ProxyBench{}, err
+	}
+	name := fmt.Sprintf("proxy-throughput/shards=%d", shards)
+	return ProxyBench{
+		Name:           name,
+		Shards:         shards,
+		Concurrency:    concurrency,
+		Requests:       res.Requests,
+		Errors:         res.Errors,
+		ThroughputMbps: res.ThroughputBps() / 1e6,
+		ReqPerSec:      float64(res.Requests) / res.Wall.Seconds(),
+		P99Millis:      float64(res.LatencyPercentile(99).Microseconds()) / 1000,
 	}, nil
 }
 

@@ -18,6 +18,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"runtime"
 	"syscall"
 	"time"
 
@@ -39,6 +40,7 @@ func main() {
 		hoc       = flag.Int64("hoc", 2<<20, "HOC bytes")
 		dc        = flag.Int64("dc", 200<<20, "DC bytes")
 		objective = flag.String("objective", "ohr", "darwin objective: ohr | bmr | combined")
+		shards    = flag.Int("shards", runtime.NumCPU(), "cache engine shard count (1 = serial/global-lock data plane)")
 		modelPath = flag.String("model", "", "pre-trained model file from darwin-train (skips startup training)")
 
 		resilient    = flag.Bool("resilient", true, "enable the fault-tolerance layer (retries, coalescing, serve-stale)")
@@ -58,8 +60,8 @@ func main() {
 	)
 	switch *mode {
 	case "static":
-		dec, err = baselines.NewStatic(cache.Expert{Freq: *f, MaxSize: *s},
-			cache.EvalConfig{HOCBytes: *hoc, DCBytes: *dc})
+		dec, err = baselines.NewStaticSharded(cache.Expert{Freq: *f, MaxSize: *s},
+			cache.EvalConfig{HOCBytes: *hoc, DCBytes: *dc}, *shards)
 	case "darwin":
 		var model *core.Model
 		sc := exp.Default()
@@ -84,10 +86,10 @@ func main() {
 			if model.FeatureWindow > 0 {
 				sc.Online.Warmup = model.FeatureWindow
 			}
-			var hier *cache.Hierarchy
-			hier, err = cache.New(cache.Config{HOCBytes: *hoc, DCBytes: *dc})
+			var eng *cache.Sharded
+			eng, err = cache.NewSharded(cache.Config{HOCBytes: *hoc, DCBytes: *dc}, *shards)
 			if err == nil {
-				dec, err = core.NewController(model, hier, sc.Online)
+				dec, err = core.NewController(model, eng, sc.Online)
 			}
 		}
 	default:
@@ -127,7 +129,7 @@ func main() {
 		ReadTimeout:       30 * time.Second,
 		IdleTimeout:       60 * time.Second,
 	}
-	fmt.Fprintf(os.Stderr, "darwin-proxy: %s mode, listening on %s, origin %s (resilient=%v)\n", *mode, *addr, *origin, *resilient)
+	fmt.Fprintf(os.Stderr, "darwin-proxy: %s mode, listening on %s, origin %s (shards=%d, resilient=%v)\n", *mode, *addr, *origin, *shards, *resilient)
 	if err := runServer(srv, *drain); err != nil {
 		fatal(err)
 	}

@@ -28,6 +28,7 @@ func main() {
 		scaleName   = flag.String("scale", "small", "small | default")
 		only        = flag.String("only", "", "comma-separated experiment ids (e.g. fig2,fig4a,table2); empty runs all")
 		parallelism = flag.Int("parallelism", runtime.NumCPU(), "worker count for sweep evaluation; 1 forces the serial path")
+		shards      = flag.Int("shards", 1, "cache engine shard count for the prototype/chaos proxies (1 = serial)")
 	)
 	flag.Parse()
 	par.SetDefault(*parallelism)
@@ -97,6 +98,7 @@ func main() {
 				return err
 			}
 			pc := exp.DefaultPrototypeConfig()
+			pc.Shards = *shards
 			tr, err := exp.PrototypeTrace(c, pc.TraceLen)
 			if err != nil {
 				return err
@@ -167,6 +169,7 @@ func main() {
 				return err
 			}
 			pc := exp.DefaultPrototypeConfig()
+			pc.Shards = *shards
 			tr, err := exp.PrototypeTrace(c, pc.TraceLen)
 			if err != nil {
 				return err
@@ -216,7 +219,9 @@ func main() {
 			return nil
 		}},
 		{"chaos", func() error {
-			rep, err := exp.ChaosReport(exp.DefaultChaosConfig())
+			cc := exp.DefaultChaosConfig()
+			cc.Prototype.Shards = *shards
+			rep, err := exp.ChaosReport(cc)
 			if err != nil {
 				return err
 			}

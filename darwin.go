@@ -96,6 +96,20 @@ const (
 // NewCache builds a two-level cache.
 func NewCache(cfg CacheConfig) (*Cache, error) { return cache.New(cfg) }
 
+// CacheEngine is the cache data-plane seam shared by the simulator, the
+// proxy, and the online controller: Cache implements it for serial replay,
+// ShardedCache for the concurrent data plane.
+type CacheEngine = cache.Engine
+
+// ShardedCache is the concurrent cache engine: N independent cache shards
+// with id-hash routing, per-shard locks, and lock-free aggregate metrics.
+// One shard reproduces the serial Cache bit-for-bit.
+type ShardedCache = cache.Sharded
+
+// NewShardedCache builds a sharded engine, splitting capacities evenly
+// across shards (shards <= 0 selects 1).
+var NewShardedCache = cache.NewSharded
+
 // EvalConfig configures single-expert trace evaluations.
 type EvalConfig = cache.EvalConfig
 
@@ -163,7 +177,8 @@ var DefaultOnlineConfig = core.DefaultOnlineConfig
 // Controller drives Darwin's online phase over a cache.
 type Controller = core.Controller
 
-// NewController wires a trained model to a cache hierarchy.
+// NewController wires a trained model to a cache engine (a *Cache or a
+// *ShardedCache).
 var NewController = core.NewController
 
 // EpochDiag records one epoch's online decisions.

@@ -3,19 +3,24 @@
 // closed-loop load generator measuring first-byte latency and throughput.
 //
 //	go run ./examples/prototype
+//	go run ./examples/prototype -shards 4   # lock-striped proxy data plane
 package main
 
 import (
 	"context"
+	"flag"
 	"fmt"
 	"log"
 	"net/http/httptest"
+	"runtime"
 	"time"
 
 	"darwin"
 )
 
 func main() {
+	shards := flag.Int("shards", runtime.NumCPU(), "cache engine shard count (1 = serial/global-lock)")
+	flag.Parse()
 	experts := darwin.ExpertGrid(
 		[]int{1, 2, 3, 5},
 		[]int64{2 << 10, 10 << 10, 50 << 10, 200 << 10},
@@ -51,12 +56,13 @@ func main() {
 	originSrv := httptest.NewServer(origin)
 	defer originSrv.Close()
 
-	// Darwin-managed proxy with a disk-latency DC.
-	hier, err := darwin.NewCache(darwin.CacheConfig{HOCBytes: eval.HOCBytes, DCBytes: eval.DCBytes})
+	// Darwin-managed proxy with a disk-latency DC, over a sharded engine so
+	// concurrent clients hit per-shard locks instead of one global mutex.
+	eng, err := darwin.NewShardedCache(darwin.CacheConfig{HOCBytes: eval.HOCBytes, DCBytes: eval.DCBytes}, *shards)
 	if err != nil {
 		log.Fatal(err)
 	}
-	ctrl, err := darwin.NewController(model, hier, darwin.OnlineConfig{
+	ctrl, err := darwin.NewController(model, eng, darwin.OnlineConfig{
 		Epoch: 20_000, Warmup: warmup, Round: 500, Delta: 0.05, StabilityRounds: 5,
 	})
 	if err != nil {
@@ -65,7 +71,7 @@ func main() {
 	proxy := darwin.NewProxy(ctrl, originSrv.URL, time.Millisecond)
 	proxySrv := httptest.NewServer(proxy)
 	defer proxySrv.Close()
-	fmt.Printf("origin %s (5ms), proxy %s (1ms disk)\n", originSrv.URL, proxySrv.URL)
+	fmt.Printf("origin %s (5ms), proxy %s (1ms disk, %d shards)\n", originSrv.URL, proxySrv.URL, eng.Shards())
 
 	// Load: a mixed workload replayed by concurrent closed-loop clients.
 	live, err := darwin.ImageDownloadMix(60, 8_000, 777)

@@ -60,32 +60,67 @@ func newHierarchy(cfg cache.EvalConfig, e cache.Expert) (*cache.Hierarchy, error
 	})
 }
 
-// Static is the fixed-expert baseline.
+// Static is the fixed-expert baseline. It runs over any cache.Engine: the
+// serial Hierarchy for trace replay (NewStatic) or a Sharded engine for the
+// concurrent proxy data plane (NewStaticSharded). The other baselines keep
+// their serial single-hierarchy form — behind the proxy they are wrapped in
+// its global serializing adapter, which is the paper's original
+// one-lock-per-HOC arrangement.
 type Static struct {
-	hier *cache.Hierarchy
+	eng  cache.Engine
 	name string
 }
 
-// NewStatic builds a static-expert server.
+// NewStatic builds a static-expert server over a serial hierarchy.
 func NewStatic(e cache.Expert, cfg cache.EvalConfig) (*Static, error) {
 	h, err := newHierarchy(cfg, e)
 	if err != nil {
 		return nil, err
 	}
-	return &Static{hier: h, name: e.String()}, nil
+	return &Static{eng: h, name: e.String()}, nil
+}
+
+// NewStaticSharded builds a static-expert server over a sharded engine with
+// the given shard count — safe for concurrent callers, for the proxy data
+// plane. shards <= 1 still builds a (single-shard) Sharded engine so the
+// result always advertises Concurrent() == true.
+func NewStaticSharded(e cache.Expert, cfg cache.EvalConfig, shards int) (*Static, error) {
+	s, err := cache.NewSharded(cache.Config{
+		HOCBytes:    cfg.HOCBytes,
+		DCBytes:     cfg.DCBytes,
+		HOCEviction: cfg.HOCEviction,
+		DCEviction:  cfg.DCEviction,
+		Expert:      e,
+	}, shards)
+	if err != nil {
+		return nil, err
+	}
+	return &Static{eng: s, name: e.String()}, nil
 }
 
 // Name implements Server.
 func (s *Static) Name() string { return s.name }
 
 // Serve implements Server.
-func (s *Static) Serve(r trace.Request) cache.Result { return s.hier.Serve(r) }
+func (s *Static) Serve(r trace.Request) cache.Result { return s.eng.Serve(r) }
 
 // Lookup probes residency without mutating cache state (server.Lookuper).
-func (s *Static) Lookup(id uint64) cache.Result { return s.hier.Lookup(id) }
+func (s *Static) Lookup(id uint64) cache.Result { return s.eng.Lookup(id) }
 
 // Metrics implements Server.
-func (s *Static) Metrics() cache.Metrics { return s.hier.Metrics() }
+func (s *Static) Metrics() cache.Metrics { return s.eng.Metrics() }
 
 // ResetMetrics implements Server.
-func (s *Static) ResetMetrics() { s.hier.ResetMetrics() }
+func (s *Static) ResetMetrics() { s.eng.ResetMetrics() }
+
+// Engine exposes the underlying cache engine (occupancy inspection in tests
+// and reports).
+func (s *Static) Engine() cache.Engine { return s.eng }
+
+// Concurrent reports whether this server may be driven from multiple
+// goroutines at once — true exactly when the underlying engine is
+// concurrency-safe (built by NewStaticSharded).
+func (s *Static) Concurrent() bool {
+	ce, ok := s.eng.(cache.ConcurrentEngine)
+	return ok && ce.Concurrent()
+}

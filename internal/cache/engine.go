@@ -1,0 +1,43 @@
+package cache
+
+import "darwin/internal/trace"
+
+// Engine is the cache data-plane seam shared by the simulator, the HTTP
+// proxy, and the online controller: one request-serving cache hierarchy with
+// pluggable expert admission. The serial Hierarchy implements it for
+// single-goroutine replay; Sharded implements it for the concurrent proxy
+// data plane by partitioning the object space across lock-striped shards.
+type Engine interface {
+	// Serve processes one request and returns where it was served from.
+	Serve(r trace.Request) Result
+	// Lookup probes residency without mutating cache state, metrics, or
+	// frequency tracking (the proxy's fetch-before-commit seam).
+	Lookup(id uint64) Result
+	// Metrics returns a snapshot of the accumulated counters.
+	Metrics() Metrics
+	// ResetMetrics zeroes the counters without disturbing cache contents.
+	ResetMetrics()
+	// SetExpert swaps the HOC admission expert (broadcast to every shard in
+	// sharded engines).
+	SetExpert(e Expert)
+	// Expert returns the currently deployed admission expert.
+	Expert() Expert
+}
+
+// A ConcurrentEngine is an Engine that is additionally safe for concurrent
+// callers without external locking. Sharded implements it (per-shard
+// mutexes); the bare Hierarchy deliberately does not — callers that share a
+// Hierarchy across goroutines must serialize it themselves, which is exactly
+// the legacy global-lock data plane the sharded seam replaces.
+type ConcurrentEngine interface {
+	Engine
+	// Concurrent is the marker: it reports whether the engine may be driven
+	// from multiple goroutines at once.
+	Concurrent() bool
+}
+
+// Compile-time seam checks.
+var (
+	_ Engine           = (*Hierarchy)(nil)
+	_ ConcurrentEngine = (*Sharded)(nil)
+)

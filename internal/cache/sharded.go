@@ -1,0 +1,277 @@
+package cache
+
+import (
+	"fmt"
+	"sync"
+
+	"darwin/internal/stripe"
+	"darwin/internal/trace"
+)
+
+// Mirror-cell counter indexes: the per-shard stripe.Cell publishes the
+// shard hierarchy's Metrics fields (plus the expert-switch count) in this
+// fixed order so aggregate snapshots are lock-free.
+const (
+	mcRequests = iota
+	mcBytes
+	mcHOCHits
+	mcHOCHitBytes
+	mcDCHits
+	mcDCHitBytes
+	mcMisses
+	mcMissBytes
+	mcDCWrites
+	mcDCWriteBytes
+	mcHOCAdmits
+	mcExpertSwitches
+	mcWidth
+)
+
+// Sharded is the concurrent cache engine: N independent Hierarchy shards,
+// each owning 1/N of the capacity, Bloom filter budget, frequency tracking,
+// and metrics, with requests routed to their owning shard by an id hash.
+// Admission, eviction, and frequency tracking are all keyed on object id, so
+// shards never need to coordinate on the request path — two requests for
+// objects on different shards proceed fully in parallel, each under its own
+// shard mutex.
+//
+// Sharded with shards=1 is bit-identical to the serial Hierarchy (one shard
+// holds the full configuration and every request routes to it); what it adds
+// over a bare Hierarchy is the mutex, making it the drop-in "global lock"
+// arm of throughput comparisons.
+//
+// Metrics snapshots are lock-free: each shard publishes its counters into a
+// seqlock cell inside the shard critical section, and Metrics sums
+// per-shard-consistent snapshots without touching any shard mutex — a
+// reader can poll aggregate OHR at any rate without slowing the data plane,
+// and never observes a single request's counters torn across fields.
+type Sharded struct {
+	shards []engineShard
+}
+
+// engineShard pairs one serial hierarchy with its mutex and its lock-free
+// metrics mirror. The struct is padded so neighbouring shards' mutexes do
+// not false-share a cache line.
+type engineShard struct {
+	mu sync.Mutex
+	// h is the shard's serial hierarchy — its capacities, Bloom filter,
+	// frequency tracker, and metrics cover only this shard's ids; guarded by mu.
+	h *Hierarchy
+	// mirror publishes h's counters for lock-free snapshots; written only
+	// inside Begin/End sections while mu is held, read without any lock.
+	mirror *stripe.Cell
+	_      [24]byte
+}
+
+// NewSharded builds a sharded engine from cfg, splitting the HOC and DC
+// capacities and the Bloom filter budget evenly across shards. shards <= 0
+// selects 1, which reproduces the serial Hierarchy exactly. A custom
+// Tracker instance cannot be split across shards; leave cfg.Tracker nil
+// (each shard builds its own exact tracker) when shards > 1.
+func NewSharded(cfg Config, shards int) (*Sharded, error) {
+	if shards <= 0 {
+		shards = 1
+	}
+	if cfg.Tracker != nil && shards > 1 {
+		return nil, fmt.Errorf("cache: a Tracker instance cannot be shared across %d shards; leave Tracker nil", shards)
+	}
+	if cfg.HOCBytes < int64(shards) || cfg.DCBytes < int64(shards) {
+		return nil, fmt.Errorf("cache: capacities (hoc=%d dc=%d) too small to split across %d shards", cfg.HOCBytes, cfg.DCBytes, shards)
+	}
+	per := cfg
+	per.HOCBytes = cfg.HOCBytes / int64(shards)
+	per.DCBytes = cfg.DCBytes / int64(shards)
+	nb := cfg.BloomObjects
+	if nb <= 0 {
+		nb = 1 << 20 // the Hierarchy default, split across shards below
+	}
+	per.BloomObjects = (nb + shards - 1) / shards
+	s := &Sharded{shards: make([]engineShard, shards)}
+	for i := range s.shards {
+		h, err := New(per)
+		if err != nil {
+			return nil, err
+		}
+		s.shards[i] = engineShard{h: h, mirror: stripe.NewCell(mcWidth)}
+	}
+	return s, nil
+}
+
+// Shards returns the shard count (for report headers and capacity math).
+func (s *Sharded) Shards() int { return len(s.shards) }
+
+// Concurrent marks Sharded safe for concurrent callers (ConcurrentEngine).
+func (s *Sharded) Concurrent() bool { return true }
+
+// route maps an object id to its owning shard index. It is on the request
+// hot path: pure integer mixing, no allocation, no locks.
+func (s *Sharded) route(id uint64) int {
+	n := len(s.shards)
+	if n == 1 {
+		return 0
+	}
+	return int(stripe.Mix64(id) % uint64(n))
+}
+
+// Serve processes one request on the owning shard and publishes the shard's
+// updated counters for lock-free aggregation.
+func (s *Sharded) Serve(r trace.Request) Result {
+	sh := &s.shards[s.route(r.ID)]
+	sh.mu.Lock()
+	res := sh.h.Serve(r)
+	sh.publishLocked()
+	sh.mu.Unlock()
+	return res
+}
+
+// Lookup probes residency on the owning shard without mutating any state.
+func (s *Sharded) Lookup(id uint64) Result {
+	sh := &s.shards[s.route(id)]
+	sh.mu.Lock()
+	res := sh.h.Lookup(id)
+	sh.mu.Unlock()
+	return res
+}
+
+// publishLocked mirrors the shard hierarchy's counters into the seqlock
+// cell. The caller holds the shard mutex, making it the cell's sole writer.
+func (sh *engineShard) publishLocked() {
+	m := sh.h.m
+	sh.mirror.Begin()
+	sh.mirror.Set(mcRequests, m.Requests)
+	sh.mirror.Set(mcBytes, m.Bytes)
+	sh.mirror.Set(mcHOCHits, m.HOCHits)
+	sh.mirror.Set(mcHOCHitBytes, m.HOCHitBytes)
+	sh.mirror.Set(mcDCHits, m.DCHits)
+	sh.mirror.Set(mcDCHitBytes, m.DCHitBytes)
+	sh.mirror.Set(mcMisses, m.Misses)
+	sh.mirror.Set(mcMissBytes, m.MissBytes)
+	sh.mirror.Set(mcDCWrites, m.DCWrites)
+	sh.mirror.Set(mcDCWriteBytes, m.DCWriteBytes)
+	sh.mirror.Set(mcHOCAdmits, m.HOCAdmits)
+	sh.mirror.Set(mcExpertSwitches, sh.h.expertSwitches)
+	sh.mirror.End()
+}
+
+// metricsFromCounters rebuilds a Metrics struct from mirror-cell order.
+func metricsFromCounters(v []int64) Metrics {
+	return Metrics{
+		Requests:     v[mcRequests],
+		Bytes:        v[mcBytes],
+		HOCHits:      v[mcHOCHits],
+		HOCHitBytes:  v[mcHOCHitBytes],
+		DCHits:       v[mcDCHits],
+		DCHitBytes:   v[mcDCHitBytes],
+		Misses:       v[mcMisses],
+		MissBytes:    v[mcMissBytes],
+		DCWrites:     v[mcDCWrites],
+		DCWriteBytes: v[mcDCWriteBytes],
+		HOCAdmits:    v[mcHOCAdmits],
+	}
+}
+
+// Metrics returns the aggregate counters summed across shards. It takes no
+// shard mutex: each shard contributes a consistent seqlock snapshot, so a
+// single request's counters are never observed torn across fields.
+func (s *Sharded) Metrics() Metrics {
+	var buf, sum [mcWidth]int64
+	for i := range s.shards {
+		s.shards[i].mirror.Snapshot(buf[:])
+		for j, v := range buf {
+			sum[j] += v
+		}
+	}
+	return metricsFromCounters(sum[:])
+}
+
+// ShardMetrics returns one shard's counters (a consistent lock-free
+// snapshot), for tests and per-partition diagnostics.
+func (s *Sharded) ShardMetrics(i int) Metrics {
+	var buf [mcWidth]int64
+	s.shards[i].mirror.Snapshot(buf[:])
+	return metricsFromCounters(buf[:])
+}
+
+// ResetMetrics zeroes every shard's counters without disturbing cache
+// contents (warm-up exclusion).
+func (s *Sharded) ResetMetrics() {
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.Lock()
+		sh.h.ResetMetrics()
+		sh.publishLocked()
+		sh.mu.Unlock()
+	}
+}
+
+// SetExpert broadcasts the new admission expert to every shard — the online
+// controller calls this at round and epoch boundaries, so the cost of
+// walking all shard mutexes is off the request fast path.
+func (s *Sharded) SetExpert(e Expert) {
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.Lock()
+		sh.h.SetExpert(e)
+		sh.publishLocked()
+		sh.mu.Unlock()
+	}
+}
+
+// Expert returns the currently deployed admission expert (identical on
+// every shard; shard 0 is read).
+func (s *Sharded) Expert() Expert {
+	sh := &s.shards[0]
+	sh.mu.Lock()
+	e := sh.h.Expert()
+	sh.mu.Unlock()
+	return e
+}
+
+// ExpertSwitches returns how many times the deployed expert changed.
+// Broadcasts reach every shard together, so shard 0's count is the logical
+// switch count.
+func (s *Sharded) ExpertSwitches() int64 {
+	var buf [mcWidth]int64
+	s.shards[0].mirror.Snapshot(buf[:])
+	return buf[mcExpertSwitches]
+}
+
+// SetAdmission broadcasts a custom HOC admission predicate (nil restores
+// expert-based admission) to every shard.
+func (s *Sharded) SetAdmission(f AdmissionFunc) {
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.Lock()
+		sh.h.SetAdmission(f)
+		sh.mu.Unlock()
+	}
+}
+
+// HOCBytes returns resident HOC bytes summed across shards.
+func (s *Sharded) HOCBytes() int64 { return s.sumLevel(func(h *Hierarchy) int64 { return h.HOCBytes() }) }
+
+// DCBytes returns resident DC bytes summed across shards.
+func (s *Sharded) DCBytes() int64 { return s.sumLevel(func(h *Hierarchy) int64 { return h.DCBytes() }) }
+
+// HOCLen returns the number of HOC-resident objects summed across shards.
+func (s *Sharded) HOCLen() int {
+	return int(s.sumLevel(func(h *Hierarchy) int64 { return int64(h.HOCLen()) }))
+}
+
+// DCLen returns the number of DC-resident objects summed across shards.
+func (s *Sharded) DCLen() int {
+	return int(s.sumLevel(func(h *Hierarchy) int64 { return int64(h.DCLen()) }))
+}
+
+// sumLevel folds a per-shard occupancy reader over every shard under its
+// mutex (occupancy reads are off the hot path).
+func (s *Sharded) sumLevel(f func(*Hierarchy) int64) int64 {
+	var total int64
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.Lock()
+		total += f(sh.h)
+		sh.mu.Unlock()
+	}
+	return total
+}

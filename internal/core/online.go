@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 	"math"
+	"sync"
 	"time"
 
 	"darwin/internal/bandit"
@@ -130,12 +131,20 @@ type EpochDiag struct {
 	Chosen cache.Expert
 }
 
-// Controller drives Darwin's online phase over a cache hierarchy.
+// Controller drives Darwin's online phase over a cache engine — the serial
+// Hierarchy in simulation, or a Sharded engine behind the concurrent proxy.
+// The cache Serve itself runs at the engine's concurrency (shard-parallel for
+// Sharded); only the small per-request state-machine update serializes under
+// the controller mutex, and expert deployments at warm-up, round, and epoch
+// boundaries broadcast to every shard through Engine.SetExpert.
 type Controller struct {
 	model *Model
-	hier  *cache.Hierarchy
+	eng   cache.Engine
 	cfg   OnlineConfig
 
+	// mu serializes the online state machine; the fields below are all
+	// guarded by mu.
+	mu         sync.Mutex
 	phase      Phase
 	epoch      int
 	epochReqs  int
@@ -148,15 +157,15 @@ type Controller struct {
 	extended   []float64
 	prof       SizeProfile
 	clusterID  int
-
 	diags      []EpochDiag
 	learningNS int64
 }
 
-// NewController wires a trained model to a hierarchy.
-func NewController(model *Model, hier *cache.Hierarchy, cfg OnlineConfig) (*Controller, error) {
-	if model == nil || hier == nil {
-		return nil, fmt.Errorf("core: nil model or hierarchy")
+// NewController wires a trained model to a cache engine (a *cache.Hierarchy
+// for serial replay, or a *cache.Sharded for the concurrent data plane).
+func NewController(model *Model, eng cache.Engine, cfg OnlineConfig) (*Controller, error) {
+	if model == nil || eng == nil {
+		return nil, fmt.Errorf("core: nil model or engine")
 	}
 	if err := cfg.validate(); err != nil {
 		return nil, err
@@ -170,10 +179,10 @@ func NewController(model *Model, hier *cache.Hierarchy, cfg OnlineConfig) (*Cont
 	if init == (cache.Expert{}) {
 		init = model.Experts[0]
 	}
-	hier.SetExpert(init)
+	eng.SetExpert(init)
 	return &Controller{
 		model:     model,
-		hier:      hier,
+		eng:       eng,
 		cfg:       cfg,
 		phase:     PhaseWarmup,
 		extractor: ex,
@@ -181,61 +190,82 @@ func NewController(model *Model, hier *cache.Hierarchy, cfg OnlineConfig) (*Cont
 }
 
 // Phase returns the current phase.
-func (c *Controller) Phase() Phase { return c.phase }
+func (c *Controller) Phase() Phase {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.phase
+}
 
 // Diags returns per-epoch diagnostics recorded so far (including the current
 // epoch once identification has finished).
-func (c *Controller) Diags() []EpochDiag { return c.diags }
+func (c *Controller) Diags() []EpochDiag {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return append([]EpochDiag(nil), c.diags...)
+}
 
 // LearningDuration returns the cumulative wall time spent in learning
 // operations (cluster lookup, Σ construction, bandit solves) — the work §6.4
 // describes as off the request fast path, occurring only at warm-up end and
 // round boundaries.
 func (c *Controller) LearningDuration() time.Duration {
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	return time.Duration(c.learningNS)
 }
 
-// Hierarchy returns the controlled hierarchy.
-func (c *Controller) Hierarchy() *cache.Hierarchy { return c.hier }
+// Engine returns the controlled cache engine.
+func (c *Controller) Engine() cache.Engine { return c.eng }
+
+// Concurrent reports whether the controller may be driven from multiple
+// goroutines at once: true when the underlying engine is concurrency-safe
+// (the state machine itself always serializes under the controller mutex).
+func (c *Controller) Concurrent() bool {
+	ce, ok := c.eng.(cache.ConcurrentEngine)
+	return ok && ce.Concurrent()
+}
 
 // Name implements the baselines.Server naming convention.
 func (c *Controller) Name() string { return "darwin" }
 
-// Metrics returns the hierarchy's accumulated metrics.
-func (c *Controller) Metrics() cache.Metrics { return c.hier.Metrics() }
+// Metrics returns the engine's accumulated metrics.
+func (c *Controller) Metrics() cache.Metrics { return c.eng.Metrics() }
 
-// ResetMetrics clears the hierarchy's counters (warm-up exclusion).
-func (c *Controller) ResetMetrics() { c.hier.ResetMetrics() }
+// ResetMetrics clears the engine's counters (warm-up exclusion).
+func (c *Controller) ResetMetrics() { c.eng.ResetMetrics() }
 
 // Lookup probes residency without mutating cache or controller state
 // (server.Lookuper): the controller's state machine advances only on
 // committed Serve calls, so failed origin fetches never consume warm-up or
 // round budget.
-func (c *Controller) Lookup(id uint64) cache.Result { return c.hier.Lookup(id) }
+func (c *Controller) Lookup(id uint64) cache.Result { return c.eng.Lookup(id) }
 
 // Serve processes one request through the cache and advances the controller
-// state machine.
+// state machine. The cache access runs at the engine's own concurrency; only
+// the state-machine bookkeeping holds the controller mutex.
 func (c *Controller) Serve(r trace.Request) cache.Result {
-	res := c.hier.Serve(r)
+	res := c.eng.Serve(r)
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	c.epochReqs++
 	switch c.phase {
 	case PhaseWarmup:
 		c.extractor.Observe(r)
 		if c.epochReqs >= c.cfg.Warmup {
 			start := time.Now()
-			c.finishWarmup()
+			c.finishWarmupLocked()
 			c.learningNS += time.Since(start).Nanoseconds()
 		}
 	case PhaseIdentify:
 		c.roundReqs++
 		if c.roundReqs >= c.cfg.Round {
 			start := time.Now()
-			c.finishRound()
+			c.finishRoundLocked()
 			c.learningNS += time.Since(start).Nanoseconds()
 		}
 	}
 	if c.epochReqs >= c.cfg.Epoch {
-		c.finishEpoch()
+		c.finishEpochLocked()
 	}
 	return res
 }
@@ -247,8 +277,8 @@ func (c *Controller) Play(tr *trace.Trace) {
 	}
 }
 
-// finishWarmup performs cluster lookup and starts identification.
-func (c *Controller) finishWarmup() {
+// finishWarmupLocked performs cluster lookup and starts identification.
+func (c *Controller) finishWarmupLocked() {
 	feat := c.extractor.Vector()
 	c.extended = c.extractor.Extended()
 	c.prof = NewSizeProfile(c.extractor.SizeDistribution(), c.model.FeatureCfg.MinSize, c.model.FeatureCfg.MaxSize)
@@ -258,7 +288,7 @@ func (c *Controller) finishWarmup() {
 
 	if len(c.set) < 2 {
 		chosen := c.model.Experts[c.set[0]]
-		c.hier.SetExpert(chosen)
+		c.eng.SetExpert(chosen)
 		c.phase = PhaseExploit
 		c.diags = append(c.diags, EpochDiag{
 			Epoch: c.epoch, Cluster: c.clusterID, SetSize: len(c.set),
@@ -267,7 +297,7 @@ func (c *Controller) finishWarmup() {
 		return
 	}
 
-	sigma2 := c.buildSigma()
+	sigma2 := c.buildSigmaLocked()
 	maxRounds := c.cfg.MaxRounds
 	if budget := (c.cfg.Epoch - c.epochReqs) / c.cfg.Round; budget < maxRounds {
 		maxRounds = budget
@@ -291,7 +321,7 @@ func (c *Controller) finishWarmup() {
 			}
 		}
 		chosen := c.model.Experts[best]
-		c.hier.SetExpert(chosen)
+		c.eng.SetExpert(chosen)
 		c.phase = PhaseExploit
 		c.diags = append(c.diags, EpochDiag{
 			Epoch: c.epoch, Cluster: c.clusterID, SetSize: len(c.set),
@@ -301,16 +331,16 @@ func (c *Controller) finishWarmup() {
 	}
 	c.alg = alg
 	c.curArm = alg.NextArm()
-	c.hier.SetExpert(c.model.Experts[c.set[c.curArm]])
-	c.roundStart = c.hier.Metrics()
+	c.eng.SetExpert(c.model.Experts[c.set[c.curArm]])
+	c.roundStart = c.eng.Metrics()
 	c.roundReqs = 0
 	c.phase = PhaseIdentify
 }
 
-// buildSigma constructs the side-information matrix over the cluster's
+// buildSigmaLocked constructs the side-information matrix over the cluster's
 // expert set using the prediction networks and the cluster's prior hit rates
 // (§4.1), scaled to round-level sample variances.
-func (c *Controller) buildSigma() [][]float64 {
+func (c *Controller) buildSigmaLocked() [][]float64 {
 	n := len(c.set)
 	sigma2 := make([][]float64, n)
 	for a := 0; a < n; a++ {
@@ -334,11 +364,11 @@ func (c *Controller) buildSigma() [][]float64 {
 	return sigma2
 }
 
-// finishRound closes a bandit round: computes the deployed arm's real reward,
+// finishRoundLocked closes a bandit round: computes the deployed arm's real reward,
 // generates fictitious samples for the other arms, and advances or stops the
 // bandit.
-func (c *Controller) finishRound() {
-	delta := c.hier.Metrics().Sub(c.roundStart)
+func (c *Controller) finishRoundLocked() {
+	delta := c.eng.Metrics().Sub(c.roundStart)
 	obsOHR := delta.OHR()
 	obsReward := c.model.Objective.Reward(delta)
 	n := len(c.set)
@@ -359,22 +389,22 @@ func (c *Controller) finishRound() {
 	}
 	if err := c.alg.Update(c.curArm, rewards); err != nil {
 		// Cannot happen with a well-formed controller; deploy best-known.
-		c.deployRecommendation("update-error")
+		c.deployRecommendationLocked("update-error")
 		return
 	}
 	if c.alg.Stopped() {
-		c.deployRecommendation(c.alg.StopReason())
+		c.deployRecommendationLocked(c.alg.StopReason())
 		return
 	}
 	c.curArm = c.alg.NextArm()
-	c.hier.SetExpert(c.model.Experts[c.set[c.curArm]])
-	c.roundStart = c.hier.Metrics()
+	c.eng.SetExpert(c.model.Experts[c.set[c.curArm]])
+	c.roundStart = c.eng.Metrics()
 	c.roundReqs = 0
 }
 
-func (c *Controller) deployRecommendation(reason string) {
+func (c *Controller) deployRecommendationLocked(reason string) {
 	chosen := c.model.Experts[c.set[c.alg.Recommendation()]]
-	c.hier.SetExpert(chosen)
+	c.eng.SetExpert(chosen)
 	c.phase = PhaseExploit
 	c.diags = append(c.diags, EpochDiag{
 		Epoch: c.epoch, Cluster: c.clusterID, SetSize: len(c.set),
@@ -382,13 +412,13 @@ func (c *Controller) deployRecommendation(reason string) {
 	})
 }
 
-// finishEpoch rolls over to the next epoch's warm-up, keeping the currently
+// finishEpochLocked rolls over to the next epoch's warm-up, keeping the currently
 // deployed expert in place for the new warm-up phase.
-func (c *Controller) finishEpoch() {
+func (c *Controller) finishEpochLocked() {
 	if c.phase == PhaseIdentify {
 		// Identification ran out of epoch: deploy the current recommendation
 		// and record the truncated run.
-		c.deployRecommendation("epoch-end")
+		c.deployRecommendationLocked("epoch-end")
 	}
 	c.epoch++
 	c.epochReqs = 0

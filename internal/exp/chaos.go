@@ -64,7 +64,7 @@ func DefaultChaosConfig() ChaosConfig {
 // chaosRun replays the trace through a fresh origin+injector+proxy stack and
 // returns the client-side result plus the proxy/injector counters.
 func chaosRun(cc ChaosConfig, res server.Resilience, tr *trace.Trace) (server.LoadResult, server.ProxyStats, faults.Stats, error) {
-	dec, err := baselines.NewStatic(cc.Expert, cc.Eval)
+	dec, err := baselines.NewStaticSharded(cc.Expert, cc.Eval, cc.Prototype.shards())
 	if err != nil {
 		return server.LoadResult{}, server.ProxyStats{}, faults.Stats{}, err
 	}
@@ -104,7 +104,7 @@ func ChaosReport(cc ChaosConfig) (*Report, error) {
 		return nil, err
 	}
 	rep := &Report{
-		Title: "Chaos: proxy under origin faults (resilient vs control)",
+		Title: fmt.Sprintf("Chaos: proxy under origin faults (resilient vs control, shards=%d)", cc.Prototype.shards()),
 		Header: []string{"scheme", "ok", "errors", "errrate", "timeout", "5xx", "trunc",
 			"stale", "ohr", "p99ms", "origin-fetches", "retries", "coalesced"},
 	}

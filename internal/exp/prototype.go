@@ -29,6 +29,17 @@ type PrototypeConfig struct {
 	ConcurrencySweep []int
 	// TraceLen is the request count per prototype run.
 	TraceLen int
+	// Shards is the cache-engine shard count for every proxy decider in the
+	// run (<= 0 selects 1, the serial/global-lock arrangement).
+	Shards int
+}
+
+// shards returns the effective shard count.
+func (pc PrototypeConfig) shards() int {
+	if pc.Shards <= 0 {
+		return 1
+	}
+	return pc.Shards
 }
 
 // DefaultPrototypeConfig returns benchmark-friendly latencies (2 ms origin,
@@ -70,25 +81,26 @@ func startProxy(dec server.Decider, pc PrototypeConfig) (string, func()) {
 	}
 }
 
-// darwinDecider builds a Darwin controller decider for the prototype.
-func darwinDecider(c *Corpus) (server.Decider, error) {
-	hier, err := cache.New(cache.Config{
+// darwinDecider builds a Darwin controller decider for the prototype over a
+// sharded cache engine (shards=1 reproduces the serial hierarchy exactly).
+func darwinDecider(c *Corpus, shards int) (server.Decider, error) {
+	eng, err := cache.NewSharded(cache.Config{
 		HOCBytes: c.Scale.Eval.HOCBytes,
 		DCBytes:  c.Scale.Eval.DCBytes,
-	})
+	}, shards)
 	if err != nil {
 		return nil, err
 	}
 	// The prototype trace is short; shrink the online knobs to fit.
 	oc := c.Scale.Online
-	return core.NewController(c.Model, hier, oc)
+	return core.NewController(c.Model, eng, oc)
 }
 
 // Fig4cPrototypeOHR reproduces Figure 4c: Darwin vs a subset of static
 // experts on the HTTP prototype at low concurrency.
 func Fig4cPrototypeOHR(c *Corpus, pc PrototypeConfig, tr *trace.Trace) (*Report, error) {
 	rep := &Report{
-		Title:  "Figure 4c: prototype OHR (low concurrency)",
+		Title:  fmt.Sprintf("Figure 4c: prototype OHR (low concurrency, shards=%d)", pc.shards()),
 		Header: []string{"scheme", "OHR", "requests", "errors"},
 	}
 	runOne := func(name string, dec server.Decider) error {
@@ -109,7 +121,7 @@ func Fig4cPrototypeOHR(c *Corpus, pc PrototypeConfig, tr *trace.Trace) (*Report,
 		return nil
 	}
 
-	dd, err := darwinDecider(c)
+	dd, err := darwinDecider(c, pc.shards())
 	if err != nil {
 		return nil, err
 	}
@@ -120,7 +132,7 @@ func Fig4cPrototypeOHR(c *Corpus, pc PrototypeConfig, tr *trace.Trace) (*Report,
 	picks := []int{0, len(c.Scale.Experts) / 2, len(c.Scale.Experts) - 1}
 	for _, ei := range picks {
 		e := c.Scale.Experts[ei]
-		st, err := baselines.NewStatic(e, c.Scale.Eval)
+		st, err := baselines.NewStaticSharded(e, c.Scale.Eval, pc.shards())
 		if err != nil {
 			return nil, err
 		}
@@ -136,7 +148,7 @@ func Fig4cPrototypeOHR(c *Corpus, pc PrototypeConfig, tr *trace.Trace) (*Report,
 // different best experts.
 func Fig7aLatency(c *Corpus, pc PrototypeConfig, tr *trace.Trace) (*Report, error) {
 	rep := &Report{
-		Title:  "Figure 7a: first-byte latency (percentiles, ms)",
+		Title:  fmt.Sprintf("Figure 7a: first-byte latency (percentiles, ms, shards=%d)", pc.shards()),
 		Header: []string{"scheme", "p10", "p50", "p90", "p99"},
 	}
 	runOne := func(name string, dec server.Decider) error {
@@ -156,7 +168,7 @@ func Fig7aLatency(c *Corpus, pc PrototypeConfig, tr *trace.Trace) (*Report, erro
 		rep.AddRow(name, ms(10), ms(50), ms(90), ms(99))
 		return nil
 	}
-	dd, err := darwinDecider(c)
+	dd, err := darwinDecider(c, pc.shards())
 	if err != nil {
 		return nil, err
 	}
@@ -164,7 +176,7 @@ func Fig7aLatency(c *Corpus, pc PrototypeConfig, tr *trace.Trace) (*Report, erro
 		return nil, err
 	}
 	mid := c.Scale.Experts[len(c.Scale.Experts)/2]
-	st, err := baselines.NewStatic(mid, c.Scale.Eval)
+	st, err := baselines.NewStaticSharded(mid, c.Scale.Eval, pc.shards())
 	if err != nil {
 		return nil, err
 	}
@@ -179,7 +191,7 @@ func Fig7aLatency(c *Corpus, pc PrototypeConfig, tr *trace.Trace) (*Report, erro
 // concurrency for Darwin and a static expert.
 func Fig7bThroughput(c *Corpus, pc PrototypeConfig, tr *trace.Trace) (*Report, error) {
 	rep := &Report{
-		Title:  "Figure 7b: throughput vs concurrency (Mbps)",
+		Title:  fmt.Sprintf("Figure 7b: throughput vs concurrency (Mbps, shards=%d)", pc.shards()),
 		Header: []string{"concurrency", "darwin", "static"},
 	}
 	static := c.Scale.Experts[len(c.Scale.Experts)/2]
@@ -193,7 +205,7 @@ func Fig7bThroughput(c *Corpus, pc PrototypeConfig, tr *trace.Trace) (*Report, e
 			}
 			return res.ThroughputBps() / 1e6, nil
 		}
-		dd, err := darwinDecider(c)
+		dd, err := darwinDecider(c, pc.shards())
 		if err != nil {
 			return nil, err
 		}
@@ -201,7 +213,7 @@ func Fig7bThroughput(c *Corpus, pc PrototypeConfig, tr *trace.Trace) (*Report, e
 		if err != nil {
 			return nil, err
 		}
-		st, err := baselines.NewStatic(static, c.Scale.Eval)
+		st, err := baselines.NewStaticSharded(static, c.Scale.Eval, pc.shards())
 		if err != nil {
 			return nil, err
 		}

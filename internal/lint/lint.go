@@ -7,7 +7,8 @@
 //     every figure must be bit-reproducible from (trace, seed);
 //   - hotpath: no fmt, string concatenation, closure capture or
 //     container/list in functions reachable from the cache request loop
-//     (Hierarchy.Serve / Eviction.Hit), protecting the 0-alloc serve path;
+//     (Hierarchy.Serve / Sharded.Serve / Eviction.Hit), protecting the
+//     0-alloc serve and shard-routing paths;
 //   - locking: fields and package vars annotated "guarded by <mu>" are only
 //     touched by functions that lock that mutex;
 //   - errcheck: no silently discarded error returns in the experiment and
@@ -78,6 +79,7 @@ func DefaultConfig() Config {
 		},
 		HotPathRoots: []string{
 			"darwin/internal/cache.Hierarchy.Serve",
+			"darwin/internal/cache.Sharded.Serve",
 			"darwin/internal/cache.Eviction.Hit",
 		},
 		ErrcheckPkgs: []string{
@@ -106,6 +108,10 @@ func FixtureConfig(name string) Config {
 		return Config{DeterminismPkgs: []string{path}}
 	case "hotpath":
 		return Config{HotPathRoots: []string{path + ".H.Serve", path + ".Ev.Hit"}}
+	case "sharding":
+		// The sharded-engine fixture: per-shard guarded-by locking plus the
+		// shard-routing Serve path under the hot-path allocation rule.
+		return Config{HotPathRoots: []string{path + ".ShardedCache.Serve"}}
 	case "errcheck":
 		return Config{ErrcheckPkgs: []string{path}}
 	case "ctxfirst":

@@ -33,7 +33,7 @@ var wantRe = regexp.MustCompile(`want "((?:[^"\\]|\\.)*)"`)
 // each annotated line must produce a matching diagnostic and no unannotated
 // diagnostics may appear.
 func TestFixtures(t *testing.T) {
-	fixtures := []string{"determinism", "hotpath", "locking", "errcheck", "ctxfirst", "suppress"}
+	fixtures := []string{"determinism", "hotpath", "locking", "errcheck", "ctxfirst", "suppress", "sharding"}
 	for _, name := range fixtures {
 		t.Run(name, func(t *testing.T) {
 			l := loader(t)

@@ -1,0 +1,52 @@
+// Package sharding is a darwinlint golden fixture for the sharded cache
+// data plane: per-shard guarded-by annotations must hold under local shard
+// aliases, and the shard-routing Serve path is a hot-path root, so routing
+// must stay free of fmt and allocation.
+package sharding
+
+import (
+	"fmt"
+	"sync"
+)
+
+// shard is one partition of the engine.
+type shard struct {
+	mu sync.Mutex
+	// n is the shard's request count; guarded by mu.
+	n int64
+}
+
+// ShardedCache routes requests across shards by id hash.
+type ShardedCache struct {
+	shards []shard
+}
+
+// Serve is the configured hot-path root: route, lock the owning shard, count.
+func (s *ShardedCache) Serve(id uint64) int64 {
+	sh := &s.shards[s.route(id)]
+	sh.mu.Lock()
+	sh.n++
+	v := sh.n
+	sh.mu.Unlock()
+	return v
+}
+
+// route is on the hot path through Serve; the fmt call must be reported.
+func (s *ShardedCache) route(id uint64) int {
+	_ = fmt.Sprintf("routing %d", id) /* want "fmt.Sprintf allocates" */
+	return int(id) % len(s.shards)
+}
+
+// skipLock reads a guarded shard field without taking the shard mutex.
+func (s *ShardedCache) skipLock(i int) int64 {
+	return s.shards[i].n /* want "n is guarded by mu" */
+}
+
+// totalLocked is exempt by the *Locked suffix: the caller holds every lock.
+func (s *ShardedCache) totalLocked() int64 {
+	var t int64
+	for i := range s.shards {
+		t += s.shards[i].n
+	}
+	return t
+}

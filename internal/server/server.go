@@ -7,10 +7,14 @@
 // The request path mirrors the paper's testbed shape: an HOC hit is served
 // straight from memory; a DC hit pays a configurable disk-access latency; a
 // miss pays a round trip to the origin, which itself delays each response by
-// the injected origin RTT. Cache state is guarded by a single mutex — the
-// same HOC lock contention the paper observes at high concurrency — but the
-// critical section covers only the decider call, never body writes or
-// origin I/O.
+// the injected origin RTT. Cache-state concurrency is the decider's problem:
+// a concurrency-safe decider (one backed by the sharded cache engine, which
+// stripes the object space across per-shard mutexes) runs shard-parallel,
+// while any other decider is transparently wrapped in a single global mutex —
+// the HOC lock contention the paper observes at high concurrency, kept as the
+// comparison arm. Either way the critical sections cover only decider calls,
+// never body writes or origin I/O, and the proxy's own data-plane counters
+// live in lock-striped cells so Stats reads are coherent and lock-free.
 //
 // The proxy has two data-plane modes. The legacy mode (NewProxy) reproduces
 // the paper's happy-path testbed: one origin fetch per miss, streamed to the
@@ -36,6 +40,7 @@ import (
 	"time"
 
 	"darwin/internal/cache"
+	"darwin/internal/stripe"
 	"darwin/internal/trace"
 )
 
@@ -139,6 +144,48 @@ type Lookuper interface {
 	Lookup(id uint64) cache.Result
 }
 
+// serializedDecider adapts a decider that is not safe for concurrent callers
+// (anything that does not advertise Concurrent() == true, e.g. a baseline
+// over a bare Hierarchy) by serializing every call under one global mutex —
+// the legacy proxy data plane, preserved verbatim as the sharded engine's
+// comparison arm.
+type serializedDecider struct {
+	mu sync.Mutex
+	// dec is the wrapped decider; guarded by mu.
+	dec Decider
+	// lk is dec's probe seam, nil if dec has none; guarded by mu.
+	lk Lookuper
+}
+
+func newSerializedDecider(dec Decider) *serializedDecider {
+	lk, _ := dec.(Lookuper)
+	return &serializedDecider{dec: dec, lk: lk}
+}
+
+func (s *serializedDecider) Serve(r trace.Request) cache.Result {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.dec.Serve(r)
+}
+
+func (s *serializedDecider) Lookup(id uint64) cache.Result {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.lk.Lookup(id)
+}
+
+func (s *serializedDecider) Metrics() cache.Metrics {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.dec.Metrics()
+}
+
+func (s *serializedDecider) Name() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.dec.Name()
+}
+
 // Resilience configures the proxy's fault-tolerance layer. The zero value
 // disables it, reproducing the legacy happy-path data plane.
 type Resilience struct {
@@ -181,6 +228,22 @@ func DefaultResilience() Resilience {
 	}
 }
 
+// Stripe-cell indexes for the proxy's data-plane counters.
+const (
+	psOriginFetches = iota
+	psRetries
+	psFetchFailures
+	psCoalesced
+	psStaleServes
+	psErrors
+	psWidth
+)
+
+// proxyStatStripes is the stripe count for the proxy counters: enough to
+// keep unrelated objects off each other's mutex at high concurrency, small
+// enough that a Stats snapshot stays a handful of cache lines.
+const proxyStatStripes = 32
+
 // ProxyStats is a snapshot of the proxy's data-plane counters.
 type ProxyStats struct {
 	// OriginFetches counts fetch attempts sent to the origin.
@@ -199,10 +262,17 @@ type ProxyStats struct {
 
 // Proxy is the CDN edge server.
 type Proxy struct {
-	// Decider drives HOC/DC decisions; guarded by mu. The critical section
-	// covers only decider calls, never origin I/O or body writes.
+	// decider drives HOC/DC decisions. It is always safe for concurrent
+	// callers: deciders advertising Concurrent() == true (the sharded cache
+	// engine and the online controller over it) are used directly and run
+	// shard-parallel; anything else is wrapped in a serializedDecider at
+	// construction. The critical sections cover only decider calls, never
+	// origin I/O or body writes.
 	decider Decider
-	mu      sync.Mutex
+	// lk is the decider's residency-probe seam, nil when the underlying
+	// decider offers none (then the resilient path falls back to
+	// decide-first ordering).
+	lk Lookuper
 
 	// OriginURL is the origin base URL (e.g. http://127.0.0.1:9000).
 	OriginURL string
@@ -223,8 +293,10 @@ type Proxy struct {
 	rngMu sync.Mutex
 	rng   *rand.Rand // guarded by rngMu; retry jitter only
 
-	originFetches, retries, fetchFailures atomic.Int64
-	coalesced, staleServes, proxyErrors   atomic.Int64
+	// stats holds the data-plane counters (ps* indexes), striped by object
+	// id so concurrent handlers never contend on one counter line and Stats
+	// snapshots are coherent without a global lock.
+	stats *stripe.Counters
 
 	start time.Time
 }
@@ -249,40 +321,64 @@ func NewResilientProxy(decider Decider, originURL string, dcLatency time.Duratio
 			res.StaleCap = 64 << 10
 		}
 	}
+	dec := decider
+	if c, ok := decider.(interface{ Concurrent() bool }); !ok || !c.Concurrent() {
+		// Not advertised concurrency-safe: serialize it under one global
+		// mutex (the legacy data plane).
+		dec = newSerializedDecider(decider)
+	}
+	// The probe seam must come from the original decider — the serialized
+	// wrapper always has a Lookup method, but it panics when the wrapped
+	// decider has none.
+	var lk Lookuper
+	if orig, ok := decider.(Lookuper); ok {
+		if dec == decider {
+			lk = orig
+		} else {
+			lk = dec.(Lookuper)
+		}
+	}
 	return &Proxy{
-		decider:   decider,
+		decider:   dec,
+		lk:        lk,
 		OriginURL: originURL,
 		DCLatency: dcLatency,
 		Client:    &http.Client{Timeout: 30 * time.Second},
 		res:       res,
 		rng:       rand.New(rand.NewSource(res.Seed)),
+		stats:     stripe.New(proxyStatStripes, psWidth),
 		start:     time.Now(),
 	}
 }
 
-// Metrics returns the decider's cache metrics (thread-safe).
+// Metrics returns the decider's cache metrics (thread-safe: the decider is
+// either concurrency-safe itself — sharded engines answer from lock-free
+// per-shard snapshots — or wrapped in the serializing adapter).
 func (p *Proxy) Metrics() cache.Metrics {
-	p.mu.Lock()
-	defer p.mu.Unlock()
 	return p.decider.Metrics()
 }
 
-// Stats returns a snapshot of the proxy's data-plane counters.
+// Stats returns a coherent snapshot of the proxy's data-plane counters:
+// every stripe is observed at one consistent instant, so counters bumped
+// together for one request (e.g. a fetch failure and its final retry) are
+// never seen torn. The read is lock-free and never stalls handlers.
 func (p *Proxy) Stats() ProxyStats {
+	var v [psWidth]int64
+	p.stats.Snapshot(v[:])
 	return ProxyStats{
-		OriginFetches: p.originFetches.Load(),
-		Retries:       p.retries.Load(),
-		FetchFailures: p.fetchFailures.Load(),
-		Coalesced:     p.coalesced.Load(),
-		StaleServes:   p.staleServes.Load(),
-		Errors:        p.proxyErrors.Load(),
+		OriginFetches: v[psOriginFetches],
+		Retries:       v[psRetries],
+		FetchFailures: v[psFetchFailures],
+		Coalesced:     v[psCoalesced],
+		StaleServes:   v[psStaleServes],
+		Errors:        v[psErrors],
 	}
 }
 
-// serve runs the decider for one request under the proxy lock.
+// serve runs the decider for one request. Concurrency is the decider's: a
+// sharded engine serializes only within the owning shard, the wrapper
+// serializes globally.
 func (p *Proxy) serve(req trace.Request) cache.Result {
-	p.mu.Lock()
-	defer p.mu.Unlock()
 	return p.decider.Serve(req)
 }
 
@@ -306,7 +402,7 @@ func (p *Proxy) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	if res == cache.Miss {
 		headerSent, err := p.fetchOriginStream(w, r, id, size)
 		if err != nil {
-			p.proxyErrors.Add(1)
+			p.stats.Add(id, psErrors, 1)
 			if !headerSent {
 				http.Error(w, err.Error(), http.StatusBadGateway)
 			}
@@ -333,12 +429,9 @@ func (p *Proxy) serveLocal(w http.ResponseWriter, res cache.Result, size int64) 
 // the cache, fetch (coalesced + retried) on a miss, and commit the request
 // through the decider only once the bytes are known good.
 func (p *Proxy) serveResilient(w http.ResponseWriter, r *http.Request, req trace.Request) {
-	lk, canProbe := p.decider.(Lookuper)
+	canProbe := p.lk != nil
 	if canProbe {
-		p.mu.Lock()
-		probe := lk.Lookup(req.ID)
-		p.mu.Unlock()
-		if probe != cache.Miss {
+		if probe := p.lk.Lookup(req.ID); probe != cache.Miss {
 			res := p.serve(req)
 			w.Header().Set("X-Cache", res.String())
 			p.serveLocal(w, res, req.Size)
@@ -379,14 +472,14 @@ func (p *Proxy) serveResilient(w http.ResponseWriter, r *http.Request, req trace
 	// The request is accounted as a proxy error, not as a cache admission.
 	if p.res.ServeStale {
 		if _, ok := p.staleHas(req.ID); ok {
-			p.staleServes.Add(1)
+			p.stats.Add(req.ID, psStaleServes, 1)
 			w.Header().Set("X-Cache", "stale")
 			w.Header().Set("Warning", `110 darwin-proxy "response is stale"`)
 			p.serveLocal(w, cache.HOCHit, req.Size)
 			return
 		}
 	}
-	p.proxyErrors.Add(1)
+	p.stats.Add(req.ID, psErrors, 1)
 	http.Error(w, fmt.Sprintf("server: origin unavailable: %v", err), http.StatusBadGateway)
 }
 
@@ -428,7 +521,7 @@ func (p *Proxy) fetchResilient(ctx context.Context, id uint64, size int64) error
 		return p.fetchRetry(context.Background(), id, size)
 	})
 	if shared {
-		p.coalesced.Add(1)
+		p.stats.Add(id, psCoalesced, 1)
 	}
 	return err
 }
@@ -439,12 +532,12 @@ func (p *Proxy) fetchRetry(ctx context.Context, id uint64, size int64) error {
 	var lastErr error
 	for attempt := 0; attempt < p.res.MaxAttempts; attempt++ {
 		if attempt > 0 {
-			p.retries.Add(1)
+			p.stats.Add(id, psRetries, 1)
 			if err := sleepCtx(ctx, p.backoff(attempt)); err != nil {
 				break
 			}
 		}
-		p.originFetches.Add(1)
+		p.stats.Add(id, psOriginFetches, 1)
 		if err := p.fetchDiscard(ctx, id, size); err != nil {
 			lastErr = err
 			if ctx.Err() != nil {
@@ -454,7 +547,7 @@ func (p *Proxy) fetchRetry(ctx context.Context, id uint64, size int64) error {
 		}
 		return nil
 	}
-	p.fetchFailures.Add(1)
+	p.stats.Add(id, psFetchFailures, 1)
 	return lastErr
 }
 
@@ -528,7 +621,7 @@ func (p *Proxy) fetchDiscard(ctx context.Context, id uint64, size int64) error {
 // as a short read instead of a silent short 200. headerSent tells the caller
 // whether a 502 can still be written.
 func (p *Proxy) fetchOriginStream(w http.ResponseWriter, r *http.Request, id uint64, size int64) (headerSent bool, err error) {
-	p.originFetches.Add(1)
+	p.stats.Add(id, psOriginFetches, 1)
 	url := fmt.Sprintf("%s/obj/%d?size=%d", p.OriginURL, id, size)
 	hreq, err := http.NewRequestWithContext(r.Context(), http.MethodGet, url, nil)
 	if err != nil {

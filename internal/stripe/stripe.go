@@ -1,0 +1,164 @@
+// Package stripe provides lock-striped counter blocks with coherent,
+// lock-free snapshots — the accounting layer under the sharded cache data
+// plane.
+//
+// The problem it solves: a hot path that increments counters from many
+// goroutines wants neither a global mutex (serializes the data plane) nor a
+// bag of independent atomics (readers see torn cross-counter snapshots — a
+// "requests" value from one instant paired with an "errors" value from
+// another). A stripe.Cell is a fixed-width block of int64 counters published
+// under a sequence number: exactly one writer at a time (serialized
+// externally, e.g. by a shard mutex), any number of readers that never block
+// the writer and always observe the block at one consistent point in time.
+// stripe.Counters adds key-hashed striping with per-stripe writer mutexes
+// for call sites that have no natural owner lock.
+package stripe
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Cell is a fixed-width block of int64 counters guarded by a sequence
+// number (a seqlock). Writers must be externally serialized — callers hold a
+// shard mutex or are a single goroutine — and bracket their updates with
+// Begin/End. Readers call Snapshot, which never blocks the writer and
+// retries until it observes a quiescent block, so every snapshot is a
+// consistent point-in-time copy of the whole cell.
+type Cell struct {
+	// seq is even when the cell is quiescent and odd while a write is in
+	// progress; it increments twice per write section.
+	seq  atomic.Uint64
+	vals []atomic.Int64
+}
+
+// NewCell builds a cell with width counters, all zero.
+func NewCell(width int) *Cell {
+	return &Cell{vals: make([]atomic.Int64, width)}
+}
+
+// Width returns the number of counters in the cell.
+func (c *Cell) Width() int { return len(c.vals) }
+
+// Begin opens a write section. Snapshot retries while one is open, so the
+// counter stores between Begin and End become visible atomically as a group.
+// The caller must be the cell's only writer (hold the owning mutex).
+func (c *Cell) Begin() { c.seq.Add(1) }
+
+// End closes the write section opened by Begin.
+func (c *Cell) End() { c.seq.Add(1) }
+
+// Add adds delta to counter i. Call between Begin and End.
+func (c *Cell) Add(i int, delta int64) { c.vals[i].Add(delta) }
+
+// Set stores v into counter i. Call between Begin and End.
+func (c *Cell) Set(i int, v int64) { c.vals[i].Store(v) }
+
+// Snapshot copies every counter into dst (len(dst) must equal Width) at one
+// consistent point in time: if the writer is mid-section, the read retries
+// until it observes the same even sequence number on both sides of the copy.
+// It takes no lock and never blocks the writer.
+func (c *Cell) Snapshot(dst []int64) {
+	if len(dst) != len(c.vals) {
+		panic(fmt.Sprintf("stripe: snapshot width %d != cell width %d", len(dst), len(c.vals)))
+	}
+	for {
+		s1 := c.seq.Load()
+		if s1&1 == 0 {
+			for i := range c.vals {
+				dst[i] = c.vals[i].Load()
+			}
+			if c.seq.Load() == s1 {
+				return
+			}
+		}
+		// A write section is (or was) in flight; yield and retry. Sections
+		// are a handful of atomic stores, so retries are short-lived.
+		runtime.Gosched()
+	}
+}
+
+// Counters is a set of key-striped cells for counters updated from many
+// goroutines with no natural owner lock (e.g. the HTTP proxy's data-plane
+// stats). Updates hash their key to a stripe and run under that stripe's
+// mutex, so unrelated keys never contend; Snapshot sums per-stripe
+// consistent snapshots without taking any stripe mutex.
+//
+// Coherence contract: each stripe is observed at one consistent instant, so
+// two counters bumped under the same key in one critical section are never
+// seen torn relative to each other. The aggregate is a sum of per-stripe
+// consistent snapshots — strictly stronger than loading independent global
+// atomics one by one, though stripes may be observed at slightly different
+// instants relative to each other.
+type Counters struct {
+	width   int
+	stripes []paddedStripe
+}
+
+// paddedStripe pads each stripe past a cache line so neighbouring stripes'
+// mutexes and sequence numbers never false-share.
+type paddedStripe struct {
+	mu   sync.Mutex
+	cell Cell
+	_    [24]byte
+}
+
+// New builds a Counters with the given stripe count (rounded up to a power
+// of two, minimum 1) and counter width.
+func New(stripes, width int) *Counters {
+	n := 1
+	for n < stripes {
+		n <<= 1
+	}
+	c := &Counters{width: width, stripes: make([]paddedStripe, n)}
+	for i := range c.stripes {
+		c.stripes[i].cell.vals = make([]atomic.Int64, width)
+	}
+	return c
+}
+
+// Width returns the number of counters per stripe.
+func (c *Counters) Width() int { return c.width }
+
+// Add adds delta to counter idx in the stripe owning key.
+func (c *Counters) Add(key uint64, idx int, delta int64) {
+	s := &c.stripes[Mix64(key)&uint64(len(c.stripes)-1)]
+	s.mu.Lock()
+	s.cell.Begin()
+	s.cell.Add(idx, delta)
+	s.cell.End()
+	s.mu.Unlock()
+}
+
+// Snapshot sums a consistent snapshot of every stripe into dst (len(dst)
+// must equal Width). It takes no stripe mutex.
+func (c *Counters) Snapshot(dst []int64) {
+	if len(dst) != c.width {
+		panic(fmt.Sprintf("stripe: snapshot width %d != counters width %d", len(dst), c.width))
+	}
+	for i := range dst {
+		dst[i] = 0
+	}
+	buf := make([]int64, c.width)
+	for i := range c.stripes {
+		c.stripes[i].cell.Snapshot(buf)
+		for j, v := range buf {
+			dst[j] += v
+		}
+	}
+}
+
+// Mix64 is a SplitMix64-style finalizer: a cheap, allocation-free bijective
+// mix spreading adjacent keys across the id space. The sharded cache engine
+// and the striped counters share it so an object's shard and stats stripe
+// derive from the same diffusion.
+func Mix64(x uint64) uint64 {
+	x ^= x >> 33
+	x *= 0xff51afd7ed558ccd
+	x ^= x >> 33
+	x *= 0xc4ceb9fe1a85ec53
+	x ^= x >> 33
+	return x
+}

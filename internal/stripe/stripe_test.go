@@ -1,0 +1,102 @@
+package stripe
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestCellSnapshotConsistency(t *testing.T) {
+	// A single writer keeps the invariant vals[1] == 2*vals[0] inside every
+	// write section; concurrent readers must never observe it broken.
+	c := NewCell(2)
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := int64(1); ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			c.Begin()
+			c.Set(0, i)
+			c.Set(1, 2*i)
+			c.End()
+		}
+	}()
+	buf := make([]int64, 2)
+	for i := 0; i < 20_000; i++ {
+		c.Snapshot(buf)
+		if buf[1] != 2*buf[0] {
+			close(stop)
+			wg.Wait()
+			t.Fatalf("torn snapshot: vals = %v", buf)
+		}
+	}
+	close(stop)
+	wg.Wait()
+}
+
+func TestCountersTotalsAndOrdering(t *testing.T) {
+	// Each worker bumps counter 0 then counter 1 under its own key. Within a
+	// stripe the pair is ordered, and every stripe is snapshotted
+	// consistently, so any aggregate must satisfy sum0 >= sum1 — and the
+	// final totals must be exact.
+	const workers, iters = 8, 5_000
+	c := New(16, 2)
+	var wg sync.WaitGroup
+	done := make(chan struct{})
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(key uint64) {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				c.Add(key, 0, 1)
+				c.Add(key, 1, 1)
+			}
+		}(uint64(w) * 7919)
+	}
+	go func() { wg.Wait(); close(done) }()
+	buf := make([]int64, 2)
+	for {
+		c.Snapshot(buf)
+		if buf[0] < buf[1] {
+			t.Fatalf("aggregate saw counter 1 ahead of counter 0: %v", buf)
+		}
+		select {
+		case <-done:
+			c.Snapshot(buf)
+			if buf[0] != workers*iters || buf[1] != workers*iters {
+				t.Fatalf("totals = %v, want %d each", buf, workers*iters)
+			}
+			return
+		default:
+		}
+	}
+}
+
+func TestNewRoundsStripesUp(t *testing.T) {
+	for _, tc := range []struct{ in, want int }{{0, 1}, {1, 1}, {3, 4}, {16, 16}, {17, 32}} {
+		c := New(tc.in, 1)
+		if len(c.stripes) != tc.want {
+			t.Errorf("New(%d): %d stripes, want %d", tc.in, len(c.stripes), tc.want)
+		}
+	}
+}
+
+func TestMix64Bijective(t *testing.T) {
+	// Distinct small ids must spread across shards rather than collapse.
+	seen := map[uint64]bool{}
+	for i := uint64(0); i < 1000; i++ {
+		h := Mix64(i)
+		if seen[h] {
+			t.Fatalf("Mix64 collision at %d", i)
+		}
+		seen[h] = true
+	}
+	if Mix64(0) == 0 && Mix64(1) == 1 {
+		t.Fatal("Mix64 looks like identity")
+	}
+}
