@@ -25,7 +25,7 @@ lint:
 	$(GO) run ./cmd/darwinlint ./...
 
 race:
-	$(GO) test -race ./internal/server ./internal/lb ./internal/cache ./internal/stripe ./internal/par ./internal/core ./internal/exp ./internal/bloom ./internal/bandit
+	$(GO) test -race ./internal/server ./internal/lb ./internal/cache ./internal/stripe ./internal/par ./internal/core ./internal/exp ./internal/bloom ./internal/bandit ./internal/breaker
 
 # fuzz runs each fuzz target briefly: URL parsing on the proxy/origin seam
 # and the Bloom filter's uint64/string hash-identity invariants.

@@ -70,6 +70,12 @@ type ProxyBench struct {
 	ThroughputMbps float64 `json:"throughput_mbps"`
 	ReqPerSec      float64 `json:"req_per_sec"`
 	P99Millis      float64 `json:"p99_ms"`
+	// OnTimeRate and Shed are reported by the overload arms: the fraction of
+	// issued requests completing within the client deadline, and the count of
+	// deliberate 503 sheds. A healthy origin should show OnTimeRate ≈ 1 and
+	// Shed ≈ 0 — the protection layer's tax is read off the throughput delta.
+	OnTimeRate float64 `json:"on_time_rate,omitempty"`
+	Shed       int     `json:"shed,omitempty"`
 }
 
 // Report is the full benchmark record.
@@ -163,6 +169,17 @@ func main() {
 		rep.Proxy = append(rep.Proxy, pb)
 		fmt.Printf("  %-24s %8.1f Mbps  %8.0f req/s  p99 %6.2f ms  errors %d\n",
 			pb.Name, pb.ThroughputMbps, pb.ReqPerSec, pb.P99Millis, pb.Errors)
+	}
+
+	fmt.Println("\n== overload layer overhead (healthy origin, deadline-carrying clients) ==")
+	for _, protected := range []bool{false, true} {
+		pb, err := benchOverloadProxy(shardArm, 64, protected)
+		if err != nil {
+			fatal(err)
+		}
+		rep.Proxy = append(rep.Proxy, pb)
+		fmt.Printf("  %-24s %8.1f Mbps  %8.0f req/s  p99 %6.2f ms  on-time %.4f  shed %d\n",
+			pb.Name, pb.ThroughputMbps, pb.ReqPerSec, pb.P99Millis, pb.OnTimeRate, pb.Shed)
 	}
 
 	data, err := json.MarshalIndent(rep, "", "  ")
@@ -360,6 +377,57 @@ func benchProxy(shards, concurrency int) (ProxyBench, error) {
 		ThroughputMbps: res.ThroughputBps() / 1e6,
 		ReqPerSec:      float64(res.Requests) / res.Wall.Seconds(),
 		P99Millis:      float64(res.LatencyPercentile(99).Microseconds()) / 1000,
+	}, nil
+}
+
+// benchOverloadProxy measures the overload-protection layer's happy-path tax:
+// the same deadline-carrying closed-loop load against a healthy origin, with
+// the full stack (breaker accounting, admission, deadline propagation,
+// hedging arming) either off (retry-only, the PR 1 data plane) or on. With a
+// healthy origin the two should be within noise of each other — protection
+// must be ~free until faults make it earn its keep.
+func benchOverloadProxy(shards, concurrency int, protected bool) (ProxyBench, error) {
+	tr, err := exp.SyntheticMix(50, 30_000, 11)
+	if err != nil {
+		return ProxyBench{}, err
+	}
+	dec, err := baselines.NewStaticSharded(cache.Expert{Freq: 1, MaxSize: 1 << 20},
+		cache.EvalConfig{HOCBytes: 256 << 10, DCBytes: 32 << 20}, shards)
+	if err != nil {
+		return ProxyBench{}, err
+	}
+	origin := &server.Origin{}
+	originSrv := httptest.NewServer(origin)
+	defer originSrv.Close()
+	res := server.DefaultResilience()
+	ov := server.Overload{}
+	name := "proxy-overload/retry-only"
+	if protected {
+		ov = server.DefaultOverload()
+		name = "proxy-overload/protected"
+	}
+	proxy := server.NewOverloadProxy(dec, originSrv.URL, 0, res, ov)
+	proxySrv := httptest.NewServer(proxy)
+	defer proxySrv.Close()
+	lr, err := server.RunLoad(context.Background(), tr, server.LoadConfig{
+		ProxyURL:    proxySrv.URL,
+		Concurrency: concurrency,
+		Deadline:    250 * time.Millisecond,
+	})
+	if err != nil {
+		return ProxyBench{}, err
+	}
+	return ProxyBench{
+		Name:           name,
+		Shards:         shards,
+		Concurrency:    concurrency,
+		Requests:       lr.Requests,
+		Errors:         lr.Errors,
+		ThroughputMbps: lr.ThroughputBps() / 1e6,
+		ReqPerSec:      float64(lr.Requests) / lr.Wall.Seconds(),
+		P99Millis:      float64(lr.LatencyPercentile(99).Microseconds()) / 1000,
+		OnTimeRate:     lr.GoodputRate(),
+		Shed:           lr.Shed,
 	}, nil
 }
 

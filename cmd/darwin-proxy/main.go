@@ -23,6 +23,7 @@ import (
 	"time"
 
 	"darwin/internal/baselines"
+	"darwin/internal/breaker"
 	"darwin/internal/cache"
 	"darwin/internal/core"
 	"darwin/internal/exp"
@@ -51,6 +52,18 @@ func main() {
 		coalesce     = flag.Bool("coalesce", true, "single-flight coalescing of concurrent misses")
 		serveStale   = flag.Bool("serve-stale", true, "serve previously-seen objects stale when the origin is down")
 		drain        = flag.Duration("drain", 10*time.Second, "graceful shutdown drain deadline")
+
+		overload       = flag.Bool("overload", true, "enable the overload-protection layer (breaker, admission, deadlines, hedging)")
+		maxInflight    = flag.Int64("max-inflight", 512, "admission control: max concurrently admitted requests (0 = unlimited)")
+		propagateDL    = flag.Bool("propagate-deadline", true, "honor the client X-Darwin-Deadline-Ms header")
+		minFetchBudget = flag.Duration("min-fetch-budget", 50*time.Millisecond, "shed misses whose remaining deadline is below this floor")
+		hedge          = flag.Duration("hedge", 25*time.Millisecond, "hedged second origin fetch delay (0 = no hedging)")
+		retryBudget    = flag.Int64("retry-budget", 0, "max retries per window (0 = breaker half-open probe budget, <0 = uncapped)")
+		brkWindow      = flag.Duration("brk-window", time.Second, "circuit breaker rolling window")
+		brkThreshold   = flag.Float64("brk-threshold", 0.5, "circuit breaker failure-ratio trip threshold")
+		brkMinRequests = flag.Int64("brk-min-requests", 10, "circuit breaker volume floor before tripping")
+		brkOpenFor     = flag.Duration("brk-open-for", 250*time.Millisecond, "circuit breaker cool-off before half-open")
+		brkProbes      = flag.Int64("brk-probes", 3, "circuit breaker half-open probe budget")
 	)
 	flag.Parse()
 
@@ -109,9 +122,27 @@ func main() {
 		ServeStale:   *serveStale,
 		Seed:         1,
 	}
-	proxy := server.NewResilientProxy(dec, *origin, *dcLatency, res)
+	ov := server.Overload{
+		Enabled: *overload,
+		Breaker: breaker.Config{
+			Window:           *brkWindow,
+			FailureThreshold: *brkThreshold,
+			MinRequests:      *brkMinRequests,
+			OpenFor:          *brkOpenFor,
+			HalfOpenProbes:   *brkProbes,
+		},
+		MaxInFlight:       *maxInflight,
+		PropagateDeadline: *propagateDL,
+		MinFetchBudget:    *minFetchBudget,
+		Hedge:             *hedge,
+		RetryBudget:       *retryBudget,
+	}
+	proxy := server.NewOverloadProxy(dec, *origin, *dcLatency, res, ov)
+	health := server.NewHealth(server.Gate{Name: "breaker", Ready: proxy.Ready})
 	mux := http.NewServeMux()
 	mux.Handle("/obj/", proxy)
+	mux.HandleFunc("/healthz", health.Healthz)
+	mux.HandleFunc("/readyz", health.Readyz)
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
 		m := proxy.Metrics()
 		st := proxy.Stats()
@@ -119,6 +150,12 @@ func main() {
 			m.Requests, m.HOCHits, m.DCHits, m.Misses, m.OHR(), m.BMR(), m.DCWriteBytes)
 		fmt.Fprintf(w, "origin_fetches %d\nretries %d\nfetch_failures %d\ncoalesced %d\nstale_serves %d\nproxy_errors %d\n",
 			st.OriginFetches, st.Retries, st.FetchFailures, st.Coalesced, st.StaleServes, st.Errors)
+		fmt.Fprintf(w, "shed %d\ndeadline_sheds %d\nbreaker_rejects %d\nhedges %d\nhedge_wins %d\nretry_budget_denied %d\n",
+			st.Shed, st.DeadlineSheds, st.BreakerRejects, st.Hedges, st.HedgeWins, st.RetryBudgetDenied)
+		if bs, ok := proxy.BreakerSnapshot(); ok {
+			fmt.Fprintf(w, "breaker_state %s\nbreaker_opens %d\nbreaker_half_opens %d\nbreaker_reopens %d\nbreaker_closes %d\nbreaker_denied %d\nbreaker_probes %d\n",
+				bs.State, bs.Opens, bs.HalfOpens, bs.Reopens, bs.Closes, bs.Denied, bs.Probes)
+		}
 	})
 	// Timeouts close slowloris-style connections that trickle headers or
 	// hold sockets idle; graceful shutdown drains in-flight requests.
@@ -129,8 +166,8 @@ func main() {
 		ReadTimeout:       30 * time.Second,
 		IdleTimeout:       60 * time.Second,
 	}
-	fmt.Fprintf(os.Stderr, "darwin-proxy: %s mode, listening on %s, origin %s (shards=%d, resilient=%v)\n", *mode, *addr, *origin, *shards, *resilient)
-	if err := runServer(srv, *drain); err != nil {
+	fmt.Fprintf(os.Stderr, "darwin-proxy: %s mode, listening on %s, origin %s (shards=%d, resilient=%v, overload=%v)\n", *mode, *addr, *origin, *shards, *resilient, *overload)
+	if err := runServer(srv, *drain, health); err != nil {
 		fatal(err)
 	}
 	st := proxy.Stats()
@@ -138,9 +175,10 @@ func main() {
 		st.OriginFetches, st.Retries, st.Coalesced, st.StaleServes, st.FetchFailures)
 }
 
-// runServer serves until SIGINT/SIGTERM, then drains connections for up to
-// the given deadline before returning.
-func runServer(srv *http.Server, drain time.Duration) error {
+// runServer serves until SIGINT/SIGTERM, then runs the health-gated drain:
+// /readyz flips to 503 first (the balancer stops routing new work here), and
+// only then are in-flight connections drained for up to the given deadline.
+func runServer(srv *http.Server, drain time.Duration, health *server.Health) error {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 	errc := make(chan error, 1)
@@ -150,7 +188,8 @@ func runServer(srv *http.Server, drain time.Duration) error {
 		return err
 	case <-ctx.Done():
 	}
-	fmt.Fprintln(os.Stderr, "darwin-proxy: shutting down, draining connections...")
+	health.StartDrain()
+	fmt.Fprintln(os.Stderr, "darwin-proxy: draining (readyz now 503), shutting down...")
 	sctx, cancel := context.WithTimeout(context.Background(), drain)
 	defer cancel()
 	if err := srv.Shutdown(sctx); err != nil {

@@ -228,6 +228,16 @@ func main() {
 			emit(rep)
 			return nil
 		}},
+		{"overload", func() error {
+			oc := exp.DefaultOverloadConfig()
+			oc.Prototype.Shards = *shards
+			rep, err := exp.OverloadReport(oc)
+			if err != nil {
+				return err
+			}
+			emit(rep)
+			return nil
+		}},
 		{"ablations", func() error {
 			for _, f := range []func(exp.Scale) (*exp.Report, error){
 				exp.AblationSideInfo,

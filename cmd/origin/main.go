@@ -70,17 +70,27 @@ func main() {
 			*faultErrRate, *faultSpikeRate, *faultStallRate, *faultTruncRate, *faultOutages, *faultSeed)
 	}
 
+	// Health surface: /healthz answers while the process lives; /readyz flips
+	// to 503 the moment the drain starts. The injector deliberately does NOT
+	// wrap these endpoints — a chaos outage makes the origin fail requests,
+	// not lie to its orchestrator.
+	health := server.NewHealth()
+	mux := http.NewServeMux()
+	mux.Handle("/", handler)
+	mux.HandleFunc("/healthz", health.Healthz)
+	mux.HandleFunc("/readyz", health.Readyz)
+
 	// Timeouts close slowloris-style connections that trickle headers or
 	// hold sockets idle; ListenAndServe's zero-value server never would.
 	srv := &http.Server{
 		Addr:              *addr,
-		Handler:           handler,
+		Handler:           mux,
 		ReadHeaderTimeout: 5 * time.Second,
 		ReadTimeout:       30 * time.Second,
 		IdleTimeout:       60 * time.Second,
 	}
 	fmt.Fprintf(os.Stderr, "origin: listening on %s with %v injected latency\n", *addr, *latency)
-	if err := runServer(srv, *drain); err != nil {
+	if err := runServer(srv, *drain, health); err != nil {
 		fatal(err)
 	}
 	if injector != nil {
@@ -92,9 +102,10 @@ func main() {
 	fmt.Fprintf(os.Stderr, "origin: served %d requests, %d bytes\n", reqs, bytes)
 }
 
-// runServer serves until SIGINT/SIGTERM, then drains connections for up to
-// the given deadline before returning.
-func runServer(srv *http.Server, drain time.Duration) error {
+// runServer serves until SIGINT/SIGTERM, then runs the health-gated drain:
+// /readyz flips to 503 first, and only then are in-flight connections
+// drained for up to the given deadline.
+func runServer(srv *http.Server, drain time.Duration, health *server.Health) error {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 	errc := make(chan error, 1)
@@ -104,7 +115,8 @@ func runServer(srv *http.Server, drain time.Duration) error {
 		return err
 	case <-ctx.Done():
 	}
-	fmt.Fprintln(os.Stderr, "origin: shutting down, draining connections...")
+	health.StartDrain()
+	fmt.Fprintln(os.Stderr, "origin: draining (readyz now 503), shutting down...")
 	sctx, cancel := context.WithTimeout(context.Background(), drain)
 	defer cancel()
 	if err := srv.Shutdown(sctx); err != nil {

@@ -1,0 +1,112 @@
+package breaker
+
+import (
+	"sync"
+	"time"
+
+	"darwin/internal/stripe"
+)
+
+// Budget is a fixed-window token budget for auxiliary work — the proxy uses
+// one to cap total retry attempts per window, so the PR 1 backoff path can
+// never inject more probe load against a sick origin than the breaker's own
+// half-open budget would: retries stop amplifying exactly when amplification
+// starts to matter.
+//
+// Like the Breaker it is deterministic under an injected clock and publishes
+// its counters through a seqlock cell so Snapshot reads are lock-free.
+type Budget struct {
+	max    int64
+	window time.Duration
+	clock  func() time.Time
+
+	mu sync.Mutex
+	// winStart is the current window's start instant; guarded by mu.
+	winStart time.Time
+	// used counts tokens consumed this window; guarded by mu.
+	used int64
+	// allowed and denied are cumulative admission counters; guarded by mu.
+	allowed, denied int64
+
+	// cell mirrors the guarded counters for lock-free snapshots; written
+	// only inside mu's critical sections.
+	cell *stripe.Cell
+}
+
+// Budget cell indexes.
+const (
+	bUsed = iota
+	bAllowed
+	bDenied
+	bWidth
+)
+
+// BudgetSnapshot is a coherent copy of a Budget's counters.
+type BudgetSnapshot struct {
+	// Used is the tokens consumed in the current window.
+	Used int64
+	// Allowed/Denied are cumulative admission decisions.
+	Allowed, Denied int64
+}
+
+// NewBudget builds a budget of max tokens per window. A nil clock selects
+// time.Now; max <= 0 denies everything (a zero budget is a hard cap, not
+// unlimited — pass no budget at all to disable capping).
+func NewBudget(max int64, window time.Duration, clock func() time.Time) *Budget {
+	if window <= 0 {
+		window = time.Second
+	}
+	if clock == nil {
+		clock = time.Now
+	}
+	g := &Budget{
+		max:    max,
+		window: window,
+		clock:  clock,
+		cell:   stripe.NewCell(bWidth),
+	}
+	g.mu.Lock()
+	g.winStart = clock()
+	g.publishLocked()
+	g.mu.Unlock()
+	return g
+}
+
+// Allow consumes one token if the current window has any left.
+func (g *Budget) Allow() bool {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	now := g.clock()
+	if now.Sub(g.winStart) >= g.window {
+		// Fixed-window reset, aligned to window multiples so the schedule is
+		// a pure function of the clock (no drift from call timing).
+		steps := now.Sub(g.winStart) / g.window
+		g.winStart = g.winStart.Add(steps * g.window)
+		g.used = 0
+	}
+	ok := g.used < g.max
+	if ok {
+		g.used++
+		g.allowed++
+	} else {
+		g.denied++
+	}
+	g.publishLocked()
+	return ok
+}
+
+// SnapshotNow returns a coherent counter snapshot without taking the mutex.
+func (g *Budget) SnapshotNow() BudgetSnapshot {
+	var v [bWidth]int64
+	g.cell.Snapshot(v[:])
+	return BudgetSnapshot{Used: v[bUsed], Allowed: v[bAllowed], Denied: v[bDenied]}
+}
+
+// publishLocked mirrors the guarded counters into the seqlock cell.
+func (g *Budget) publishLocked() {
+	g.cell.Begin()
+	g.cell.Set(bUsed, g.used)
+	g.cell.Set(bAllowed, g.allowed)
+	g.cell.Set(bDenied, g.denied)
+	g.cell.End()
+}

@@ -35,6 +35,14 @@ type Config struct {
 	// rebalance window — modelling drains, flash crowds, and capacity
 	// changes that shift traffic mixes between servers.
 	WeightSchedule func(window int) []float64
+	// Readiness, when non-nil, scales each server's effective weight by its
+	// health at every rebalance boundary: 1 for a fully ready server, 0 for
+	// one that must receive no new traffic (draining, or its origin circuit
+	// breaker is open), fractions for partial capacity. This is how the
+	// serving tier's /readyz surface feeds back into routing — an unready
+	// edge sheds its ring weight and the bounded-loads spill redistributes
+	// its share to ring successors until it recovers.
+	Readiness func(window, server int) float64
 }
 
 func (c Config) withDefaults() Config {
@@ -103,6 +111,11 @@ func (b *Balancer) windowWeights(window int) []float64 {
 		out[i] = 1
 		if i < len(w) && w[i] >= 0 {
 			out[i] = w[i]
+		}
+		if b.cfg.Readiness != nil {
+			if r := b.cfg.Readiness(window, i); r >= 0 && r < 1 {
+				out[i] *= r
+			}
 		}
 	}
 	return out

@@ -2,7 +2,9 @@ package lb
 
 import (
 	"testing"
+	"time"
 
+	"darwin/internal/breaker"
 	"darwin/internal/trace"
 	"darwin/internal/tracegen"
 )
@@ -163,4 +165,67 @@ func TestSplitShiftsPerServerMix(t *testing.T) {
 	}
 	t.Logf("server 0: %d -> %d requests, mean size %.0f -> %.0f",
 		s1.Requests, s2.Requests, s1.MeanSize, s2.MeanSize)
+}
+
+// TestReadinessShedsRingWeight wires a real circuit breaker into the
+// balancer's readiness hook: while server 1's origin breaker is open, the
+// next rebalance boundary strips its ring weight and bounded-loads spill
+// redistributes its share — the lb half of health-gated routing.
+func TestReadinessShedsRingWeight(t *testing.T) {
+	now := time.Unix(0, 0)
+	brk := breaker.New(breaker.Config{
+		Window:           time.Second,
+		Buckets:          10,
+		FailureThreshold: 0.5,
+		MinRequests:      4,
+		OpenFor:          time.Minute,
+		HalfOpenProbes:   1,
+		Clock:            func() time.Time { return now },
+	})
+	cfg := Config{
+		Servers:        3,
+		RebalanceEvery: 5000,
+		LoadFactor:     0.1,
+		Readiness: func(window, server int) float64 {
+			if server == 1 && brk.State() == breaker.Open {
+				return 0
+			}
+			return 1
+		},
+	}
+	b, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := tracegen.ImageDownloadMix(50, 10000, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var w0, w1 int // server 1's load in window 0 (healthy) and window 1 (open)
+	for i, r := range tr.Requests {
+		if i == 5000 {
+			// Trip server 1's breaker right before the rebalance boundary.
+			for j := 0; j < 4; j++ {
+				if brk.Allow() {
+					brk.Record(false)
+				}
+			}
+			if brk.State() != breaker.Open {
+				t.Fatalf("breaker did not trip: state %v", brk.State())
+			}
+		}
+		if b.Route(r) == 1 {
+			if i < 5000 {
+				w0++
+			} else {
+				w1++
+			}
+		}
+	}
+	if w0 == 0 {
+		t.Fatal("server 1 starved while healthy")
+	}
+	if w1 != 0 {
+		t.Fatalf("open-breaker server still routed %d requests (healthy window: %d)", w1, w0)
+	}
 }

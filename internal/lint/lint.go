@@ -83,6 +83,7 @@ func DefaultConfig() Config {
 			"darwin/internal/cache.Eviction.Hit",
 		},
 		ErrcheckPkgs: []string{
+			"darwin/internal/breaker",
 			"darwin/internal/exp",
 			"darwin/internal/server",
 		},

@@ -1,0 +1,75 @@
+package server
+
+import (
+	"fmt"
+	"net/http"
+	"sync/atomic"
+)
+
+// Gate is one readiness condition: a named predicate consulted by /readyz.
+// The proxy registers its circuit breaker here ("breaker" is ready while the
+// breaker is not open), so an edge whose origin path is tripped advertises
+// itself unready and the load-balancing layer sheds its ring weight.
+type Gate struct {
+	// Name labels the gate in the /readyz body.
+	Name string
+	// Ready reports whether this condition currently passes.
+	Ready func() bool
+}
+
+// Health is the serving tier's liveness/readiness surface, shared by
+// cmd/darwin-proxy and cmd/origin:
+//
+//   - /healthz (Healthz) answers 200 while the process is alive — it only
+//     says "don't restart me", never "send me traffic";
+//   - /readyz (Readyz) answers 200 only while the server is not draining and
+//     every gate passes; otherwise 503 with the failing reason in the body.
+//
+// On SIGTERM the cmds call StartDrain before http.Server.Shutdown: /readyz
+// flips to 503 first, the balancer stops routing new work here, and only
+// then are in-flight connections drained — the health-gated drain sequence
+// that makes restarts invisible to clients.
+type Health struct {
+	draining atomic.Bool
+	gates    []Gate
+}
+
+// NewHealth builds a Health with the given readiness gates.
+func NewHealth(gates ...Gate) *Health {
+	return &Health{gates: gates}
+}
+
+// StartDrain marks the server draining: /readyz fails from now on while
+// /healthz keeps passing, so orchestrators stop new traffic without killing
+// in-flight work.
+func (h *Health) StartDrain() {
+	h.draining.Store(true)
+}
+
+// Draining reports whether StartDrain has been called.
+func (h *Health) Draining() bool {
+	return h.draining.Load()
+}
+
+// Healthz implements the liveness endpoint: 200 while the process runs.
+func (h *Health) Healthz(w http.ResponseWriter, r *http.Request) {
+	w.WriteHeader(http.StatusOK)
+	_, _ = fmt.Fprintln(w, "ok") // client went away; nothing useful to do with the error
+}
+
+// Readyz implements the readiness endpoint: 503 while draining or while any
+// gate fails, naming the reason.
+func (h *Health) Readyz(w http.ResponseWriter, r *http.Request) {
+	if h.draining.Load() {
+		http.Error(w, "draining", http.StatusServiceUnavailable)
+		return
+	}
+	for _, g := range h.gates {
+		if !g.Ready() {
+			http.Error(w, fmt.Sprintf("not ready: %s", g.Name), http.StatusServiceUnavailable)
+			return
+		}
+	}
+	w.WriteHeader(http.StatusOK)
+	_, _ = fmt.Fprintln(w, "ready") // client went away; nothing useful to do with the error
+}

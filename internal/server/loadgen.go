@@ -5,9 +5,11 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"math/rand"
 	"net"
 	"net/http"
 	"sort"
+	"strconv"
 	"sync"
 	"time"
 
@@ -36,6 +38,15 @@ type LoadResult struct {
 	// are successes from the client's point of view and also count in
 	// Requests.
 	StaleServes int
+	// OnTime counts successful requests that completed within the client
+	// deadline (== Requests when no deadline is configured) — the goodput
+	// numerator: work the client could actually use.
+	OnTime int
+	// Shed counts 503 responses carrying the proxy's shed marker (admission,
+	// breaker, or deadline rejects). They are also counted in Errors and
+	// Status5xx; this field separates deliberate load shedding from
+	// unclassified upstream failure.
+	Shed int
 	// Bytes is the total payload bytes received.
 	Bytes int64
 	// Wall is the end-to-end run duration.
@@ -63,6 +74,18 @@ func (r LoadResult) ErrorRate() float64 {
 	return float64(r.Errors) / float64(total)
 }
 
+// GoodputRate returns the fraction of all issued requests that completed
+// successfully within the client deadline — the §5.6-style claim restated
+// for overload: not "how many answers", but "how many answers that arrived
+// while the client still wanted them".
+func (r LoadResult) GoodputRate() float64 {
+	total := r.Requests + r.Errors
+	if total == 0 {
+		return 0
+	}
+	return float64(r.OnTime) / float64(total)
+}
+
 // LatencyPercentile returns the p-th percentile first-byte latency.
 func (r LoadResult) LatencyPercentile(p float64) time.Duration {
 	if len(r.FirstByte) == 0 {
@@ -85,6 +108,58 @@ type LoadConfig struct {
 	ClientLatency time.Duration
 	// RequestTimeout bounds each client request end to end (default 60 s).
 	RequestTimeout time.Duration
+	// Deadline, when > 0, is the client's per-request freshness deadline: it
+	// is advertised to the proxy via DeadlineHeader (driving deadline
+	// propagation and shedding) and used client-side to classify OnTime
+	// completions. It does not abort the request — RequestTimeout does that
+	// — so late responses are still measured, they just miss goodput.
+	Deadline time.Duration
+	// Burst, when non-nil, switches dispatch from pure closed-loop to the
+	// seeded flash-crowd arrival schedule.
+	Burst *Burst
+}
+
+// Burst is the seeded flash-crowd arrival mode: dispatch is paced by a
+// deterministic gap schedule in which every period of Every requests opens
+// with Len requests released back-to-back (the flash crowd slamming the
+// edge) followed by jittered Gap-spaced arrivals (the baseline). The
+// schedule is a pure function of (Seed, Gap, Every, Len, n), so a chaos run
+// is reproducible gap-for-gap and its report can cite the exact arrival
+// pattern.
+type Burst struct {
+	// Seed drives the gap jitter.
+	Seed int64
+	// Gap is the mean inter-dispatch gap outside bursts (jittered uniformly
+	// over [Gap/2, 3·Gap/2]). <= 0 means no pacing outside bursts either.
+	Gap time.Duration
+	// Every is the burst period in requests (default 500).
+	Every int
+	// Len is the burst length in requests, dispatched with zero gap
+	// (default Every/4).
+	Len int
+}
+
+// Gaps returns the deterministic inter-dispatch schedule for n requests:
+// gaps[i] is slept before dispatching request i. Burst positions get zero
+// gap; baseline positions get the jittered Gap.
+func (b Burst) Gaps(n int) []time.Duration {
+	every := b.Every
+	if every <= 0 {
+		every = 500
+	}
+	length := b.Len
+	if length <= 0 {
+		length = every / 4
+	}
+	rng := rand.New(rand.NewSource(b.Seed))
+	gaps := make([]time.Duration, n)
+	for i := range gaps {
+		if i%every < length || b.Gap <= 0 {
+			continue // inside a flash crowd: back-to-back dispatch
+		}
+		gaps[i] = b.Gap/2 + time.Duration(rng.Int63n(int64(b.Gap)+1))
+	}
+	return gaps
 }
 
 // classify folds one request outcome into res (caller holds the lock).
@@ -137,8 +212,18 @@ func RunLoad(ctx context.Context, tr *trace.Trace, cfg LoadConfig) (LoadResult, 
 				time.Sleep(cfg.ClientLatency)
 			}
 			url := fmt.Sprintf("%s/obj/%d?size=%d", cfg.ProxyURL, r.ID, r.Size)
+			hreq, err := http.NewRequest(http.MethodGet, url, nil)
+			if err != nil {
+				mu.Lock()
+				classify(&res, err)
+				mu.Unlock()
+				continue
+			}
+			if cfg.Deadline > 0 {
+				hreq.Header.Set(DeadlineHeader, strconv.FormatInt(cfg.Deadline.Milliseconds(), 10))
+			}
 			start := time.Now()
-			resp, err := client.Get(url)
+			resp, err := client.Do(hreq)
 			if err != nil {
 				mu.Lock()
 				classify(&res, err)
@@ -154,18 +239,25 @@ func RunLoad(ctx context.Context, tr *trace.Trace, cfg LoadConfig) (LoadResult, 
 				m, rerr = resp.Body.Read(buf)
 				n += int64(m)
 			}
+			total := time.Since(start)
 			_ = resp.Body.Close() // body fully drained above; close can't fail usefully
 			mu.Lock()
 			switch {
 			case resp.StatusCode >= 400:
 				res.Errors++
 				res.Status5xx++
+				if resp.StatusCode == http.StatusServiceUnavailable && resp.Header.Get(ShedHeader) != "" {
+					res.Shed++
+				}
 			case rerr != nil && rerr != io.EOF:
 				classify(&res, rerr)
 			default:
 				res.Requests++
 				res.Bytes += n
 				res.FirstByte = append(res.FirstByte, fb)
+				if cfg.Deadline <= 0 || total <= cfg.Deadline {
+					res.OnTime++
+				}
 				switch resp.Header.Get("X-Cache") {
 				case "hoc-hit":
 					res.HOCHits++
@@ -185,9 +277,19 @@ func RunLoad(ctx context.Context, tr *trace.Trace, cfg LoadConfig) (LoadResult, 
 	for i := 0; i < cfg.Concurrency; i++ {
 		go worker()
 	}
+	var gaps []time.Duration
+	if cfg.Burst != nil {
+		gaps = cfg.Burst.Gaps(tr.Len())
+	}
 	var dispatchErr error
 dispatch:
-	for _, r := range tr.Requests {
+	for i, r := range tr.Requests {
+		if gaps != nil && gaps[i] > 0 {
+			if err := sleepCtx(ctx, gaps[i]); err != nil {
+				dispatchErr = err
+				break dispatch
+			}
+		}
 		select {
 		case work <- r:
 		case <-ctx.Done():

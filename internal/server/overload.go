@@ -1,0 +1,269 @@
+package server
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+	"strconv"
+	"time"
+
+	"darwin/internal/breaker"
+	"darwin/internal/cache"
+	"darwin/internal/trace"
+)
+
+// DeadlineHeader carries the client's end-to-end deadline in milliseconds.
+// The load generator sets it from LoadConfig.Deadline; the proxy (with
+// PropagateDeadline on) converts it into a request context deadline that
+// bounds every origin fetch attempt, so work the client has already given up
+// on is cancelled instead of finished into the void.
+const DeadlineHeader = "X-Darwin-Deadline-Ms"
+
+// ShedHeader marks responses the overload layer answered without doing the
+// full work: 503 rejects (admission, breaker, deadline) and degraded stale
+// serves issued on a shed path. The value names the shed reason.
+const ShedHeader = "X-Darwin-Shed"
+
+// Overload configures the proxy's overload-protection layer: circuit
+// breaking on the origin path, bounded-in-flight admission control,
+// client-deadline propagation with doomed-work shedding, hedged fetches, and
+// a rolling-window retry budget. The zero value disables all of it,
+// reproducing the PR 1 retry-only data plane.
+type Overload struct {
+	// Enabled turns the overload layer on. Enabling it also enables the
+	// resilient miss path (retries/coalescing/serve-stale ride below it).
+	Enabled bool
+	// Breaker parameterises the origin circuit breaker; the zero value
+	// selects breaker defaults (1s window, 50% threshold, 250ms cool-off,
+	// 3 half-open probes).
+	Breaker breaker.Config
+	// MaxInFlight bounds concurrently admitted requests; a request over the
+	// budget is shed immediately (stale or 503+Retry-After) instead of
+	// queueing. 0 means unlimited.
+	MaxInFlight int64
+	// PropagateDeadline honors the client's DeadlineHeader, deriving the
+	// request context deadline every fetch attempt inherits.
+	PropagateDeadline bool
+	// MinFetchBudget is the remaining-deadline floor below which a miss is
+	// shed rather than fetched: a fetch that cannot possibly finish in time
+	// is doomed work (default 50ms).
+	MinFetchBudget time.Duration
+	// Hedge, when > 0, launches a second origin fetch if the first has not
+	// answered after this delay; the first result wins and the loser is
+	// cancelled. Pick a slow-percentile latency (e.g. ~p95 of healthy
+	// fetches) so hedges fire only on straggler attempts.
+	Hedge time.Duration
+	// RetryBudget caps total retry attempts (attempts beyond a miss's first)
+	// per RetryBudgetWindow across the whole proxy, so the backoff path can
+	// never probe a sick origin harder than the breaker's half-open budget.
+	// 0 selects the breaker's HalfOpenProbes; < 0 disables the cap.
+	RetryBudget int64
+	// RetryBudgetWindow is the retry budget's reset period (default: the
+	// breaker window).
+	RetryBudgetWindow time.Duration
+	// RetryAfter is the advertised Retry-After on shed 503s (default 1s).
+	RetryAfter time.Duration
+}
+
+// DefaultOverload returns the hardened defaults used by cmd/darwin-proxy and
+// the overload chaos experiment: breaker defaults, 512 in-flight requests,
+// deadline propagation with a 50ms fetch floor, a 25ms hedge, and a retry
+// budget equal to the breaker's half-open probe budget per window.
+func DefaultOverload() Overload {
+	return Overload{
+		Enabled:           true,
+		MaxInFlight:       512,
+		PropagateDeadline: true,
+		MinFetchBudget:    50 * time.Millisecond,
+		Hedge:             25 * time.Millisecond,
+		RetryAfter:        time.Second,
+	}
+}
+
+// withDefaults fills the derived knobs that need the breaker config.
+func (ov Overload) withDefaults() Overload {
+	if !ov.Enabled {
+		return ov
+	}
+	if ov.MinFetchBudget <= 0 {
+		ov.MinFetchBudget = 50 * time.Millisecond
+	}
+	if ov.RetryAfter <= 0 {
+		ov.RetryAfter = time.Second
+	}
+	return ov
+}
+
+// NewOverloadProxy builds a proxy with both the fault-tolerance layer and
+// the overload-protection layer. Enabling overload protection forces the
+// resilient data plane on (with MaxAttempts 1 if the caller left resilience
+// off), because shedding decisions hang off the probe-then-commit miss path.
+func NewOverloadProxy(decider Decider, originURL string, dcLatency time.Duration, res Resilience, ov Overload) *Proxy {
+	ov = ov.withDefaults()
+	if ov.Enabled && !res.Enabled {
+		res.Enabled = true
+		res.MaxAttempts = 1
+	}
+	p := NewResilientProxy(decider, originURL, dcLatency, res)
+	p.ov = ov
+	if ov.Enabled {
+		p.brk = breaker.New(ov.Breaker)
+		if ov.RetryBudget >= 0 {
+			max := ov.RetryBudget
+			if max == 0 {
+				max = ov.Breaker.HalfOpenProbes
+				if max <= 0 {
+					max = 3 // the breaker default for HalfOpenProbes
+				}
+			}
+			window := ov.RetryBudgetWindow
+			if window <= 0 {
+				window = ov.Breaker.Window
+			}
+			p.retryBudget = breaker.NewBudget(max, window, ov.Breaker.Clock)
+		}
+	}
+	return p
+}
+
+// Ready reports whether the proxy is fit to receive new traffic: false while
+// the origin circuit breaker is open (every miss would be shed), so a
+// load-balancing layer consuming readiness sheds this server's ring weight
+// until the origin recovers.
+func (p *Proxy) Ready() bool {
+	return p.brk == nil || p.brk.State() != breaker.Open
+}
+
+// BreakerSnapshot returns the circuit breaker's coherent counter snapshot,
+// and whether overload protection is active at all.
+func (p *Proxy) BreakerSnapshot() (breaker.Snapshot, bool) {
+	if p.brk == nil {
+		return breaker.Snapshot{}, false
+	}
+	return p.brk.SnapshotNow(), true
+}
+
+// admit runs the overload admission decision for one request; callers must
+// pair a true return with a release of the in-flight slot (the caller's
+// defer). A false return means the request was already answered (shed).
+func (p *Proxy) admit(w http.ResponseWriter, req trace.Request, n int64) bool {
+	if p.ov.MaxInFlight > 0 && n > p.ov.MaxInFlight {
+		p.shed(w, req, "inflight")
+		return false
+	}
+	return true
+}
+
+// deadlineCtx derives the request context carrying the client's propagated
+// deadline, if the header is present and well-formed.
+func (p *Proxy) deadlineCtx(r *http.Request) (context.Context, context.CancelFunc) {
+	if !p.ov.PropagateDeadline {
+		return r.Context(), nil
+	}
+	v := r.Header.Get(DeadlineHeader)
+	if v == "" {
+		return r.Context(), nil
+	}
+	ms, err := strconv.ParseInt(v, 10, 64)
+	if err != nil || ms <= 0 {
+		return r.Context(), nil
+	}
+	return context.WithTimeout(r.Context(), time.Duration(ms)*time.Millisecond)
+}
+
+// doomed reports whether a miss is not worth fetching: the remaining client
+// deadline is below the minimum fetch budget, so the fetch would be cancelled
+// mid-flight and the client would see a slow failure instead of a fast shed.
+func (p *Proxy) doomed(ctx context.Context) bool {
+	if !p.ov.Enabled {
+		return false
+	}
+	dl, ok := ctx.Deadline()
+	if !ok {
+		return false
+	}
+	return time.Until(dl) < p.ov.MinFetchBudget
+}
+
+// shed answers a request the overload layer refuses to do full work for:
+// from the stale store when possible (a fast, degraded success), otherwise a
+// cheap 503 with Retry-After — never by queueing behind a sick origin.
+func (p *Proxy) shed(w http.ResponseWriter, req trace.Request, reason string) {
+	p.stats.Add(req.ID, psShed, 1)
+	if p.res.ServeStale {
+		if _, ok := p.staleHas(req.ID); ok {
+			p.stats.Add(req.ID, psStaleServes, 1)
+			w.Header().Set("X-Cache", "stale")
+			w.Header().Set(ShedHeader, reason)
+			w.Header().Set("Warning", `110 darwin-proxy "response is stale"`)
+			p.serveLocal(w, cache.HOCHit, req.Size)
+			return
+		}
+	}
+	p.stats.Add(req.ID, psErrors, 1)
+	w.Header().Set(ShedHeader, reason)
+	w.Header().Set("Retry-After", strconv.Itoa(int((p.ov.RetryAfter+time.Second-1)/time.Second)))
+	http.Error(w, fmt.Sprintf("server: overloaded (%s)", reason), http.StatusServiceUnavailable)
+}
+
+// fetchMaybeHedged runs one breaker-accounted fetch attempt, launching a
+// hedged second fetch if the first is still quiet after the hedge delay — or
+// immediately, if the first fails before the delay (hedge-on-failure: a fast
+// origin error costs one backup request, not a budgeted retry). The pair
+// shares one breaker permit and one combined outcome, so hedging cannot
+// outrun the breaker the way a retry storm can; whichever fetch answers
+// first wins and the loser's context is cancelled.
+func (p *Proxy) fetchMaybeHedged(ctx context.Context, id uint64, size int64) error {
+	if p.ov.Hedge <= 0 {
+		return p.fetchDiscard(ctx, id, size)
+	}
+	hctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	type outcome struct {
+		hedged bool
+		err    error
+	}
+	results := make(chan outcome, 2)
+	launch := func(hedged bool) {
+		results <- outcome{hedged: hedged, err: p.fetchDiscard(hctx, id, size)}
+	}
+	go launch(false)
+	timer := time.NewTimer(p.ov.Hedge)
+	defer timer.Stop()
+	outstanding := 1
+	hedgeFired := false
+	hedge := func() {
+		hedgeFired = true
+		outstanding++
+		p.stats.Add(id, psHedges, 1)
+		p.stats.Add(id, psOriginFetches, 1)
+		go launch(true)
+	}
+	var firstErr error
+	for {
+		select {
+		case res := <-results:
+			outstanding--
+			if res.err == nil {
+				if res.hedged {
+					p.stats.Add(id, psHedgeWins, 1)
+				}
+				return nil // deferred cancel reaps the loser
+			}
+			if firstErr == nil {
+				firstErr = res.err
+			}
+			if !hedgeFired && ctx.Err() == nil {
+				hedge() // hedge-on-failure: don't wait out the timer
+				continue
+			}
+			if outstanding == 0 {
+				return firstErr
+			}
+		case <-timer.C:
+			if !hedgeFired {
+				hedge()
+			}
+		}
+	}
+}

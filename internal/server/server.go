@@ -30,6 +30,7 @@ package server
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"io"
 	"math/rand"
@@ -39,6 +40,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"darwin/internal/breaker"
 	"darwin/internal/cache"
 	"darwin/internal/stripe"
 	"darwin/internal/trace"
@@ -236,6 +238,12 @@ const (
 	psCoalesced
 	psStaleServes
 	psErrors
+	psShed
+	psDeadlineSheds
+	psBreakerRejects
+	psHedges
+	psHedgeWins
+	psRetryBudgetDenied
 	psWidth
 )
 
@@ -258,6 +266,21 @@ type ProxyStats struct {
 	StaleServes int64
 	// Errors counts client-visible 5xx responses issued by this proxy.
 	Errors int64
+	// Shed counts requests the overload layer refused to do full work for
+	// (admission, breaker, or deadline sheds — answered stale or 503).
+	Shed int64
+	// DeadlineSheds counts misses shed because the client's remaining
+	// deadline could not cover a fetch (a subset of Shed).
+	DeadlineSheds int64
+	// BreakerRejects counts fetch attempts denied by the open circuit
+	// breaker (no origin traffic was generated for them).
+	BreakerRejects int64
+	// Hedges counts hedged second fetches launched; HedgeWins counts hedges
+	// that answered before the primary fetch.
+	Hedges, HedgeWins int64
+	// RetryBudgetDenied counts retries suppressed by the rolling-window
+	// retry budget (the anti-retry-storm cap).
+	RetryBudgetDenied int64
 }
 
 // Proxy is the CDN edge server.
@@ -283,6 +306,16 @@ type Proxy struct {
 
 	res     Resilience
 	flights flightGroup
+
+	// ov is the overload-protection layer (zero = disabled); brk gates
+	// origin fetch attempts and retryBudget caps the backoff path when it
+	// is enabled. Both publish through seqlock cells, so readiness and
+	// stats reads never touch the data plane's locks.
+	ov          Overload
+	brk         *breaker.Breaker
+	retryBudget *breaker.Budget
+	// inflight gauges admitted requests for the bounded-in-flight budget.
+	inflight atomic.Int64
 
 	// stale remembers objects the proxy has successfully served, bounded by
 	// res.StaleCap — the prototype's serve-stale store (bodies are
@@ -366,12 +399,18 @@ func (p *Proxy) Stats() ProxyStats {
 	var v [psWidth]int64
 	p.stats.Snapshot(v[:])
 	return ProxyStats{
-		OriginFetches: v[psOriginFetches],
-		Retries:       v[psRetries],
-		FetchFailures: v[psFetchFailures],
-		Coalesced:     v[psCoalesced],
-		StaleServes:   v[psStaleServes],
-		Errors:        v[psErrors],
+		OriginFetches:     v[psOriginFetches],
+		Retries:           v[psRetries],
+		FetchFailures:     v[psFetchFailures],
+		Coalesced:         v[psCoalesced],
+		StaleServes:       v[psStaleServes],
+		Errors:            v[psErrors],
+		Shed:              v[psShed],
+		DeadlineSheds:     v[psDeadlineSheds],
+		BreakerRejects:    v[psBreakerRejects],
+		Hedges:            v[psHedges],
+		HedgeWins:         v[psHedgeWins],
+		RetryBudgetDenied: v[psRetryBudgetDenied],
 	}
 }
 
@@ -390,6 +429,20 @@ func (p *Proxy) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	req := trace.Request{ID: id, Size: size, Time: time.Since(p.start).Microseconds()}
+	if p.ov.Enabled {
+		// Admission control runs before any cache or origin work: a request
+		// over the in-flight budget is shed for pennies (stale or 503) so
+		// overload never turns into an unbounded queue of doomed work.
+		n := p.inflight.Add(1)
+		defer p.inflight.Add(-1)
+		if !p.admit(w, req, n) {
+			return
+		}
+		if ctx, cancel := p.deadlineCtx(r); cancel != nil {
+			defer cancel()
+			r = r.WithContext(ctx)
+		}
+	}
 	if p.res.Enabled {
 		p.serveResilient(w, r, req)
 		return
@@ -451,6 +504,15 @@ func (p *Proxy) serveResilient(w http.ResponseWriter, r *http.Request, req trace
 		}
 	}
 
+	// Deadline-aware shedding: a miss whose remaining client deadline cannot
+	// cover a fetch is doomed work — answer it cheaply now (stale or 503)
+	// instead of queueing a fetch the client will never see complete.
+	if p.doomed(r.Context()) {
+		p.stats.Add(req.ID, psDeadlineSheds, 1)
+		p.shed(w, req, "deadline")
+		return
+	}
+
 	err := p.fetchResilient(r.Context(), req.ID, req.Size)
 	if err == nil {
 		res := cache.Miss
@@ -465,6 +527,22 @@ func (p *Proxy) serveResilient(w http.ResponseWriter, r *http.Request, req trace
 		p.serveLocal(w, res, req.Size)
 		p.rememberStale(req.ID, req.Size)
 		return
+	}
+
+	// Shed outcomes: an open breaker or an expired client deadline is not an
+	// origin failure to 502 on, it is load the overload layer refused — shed
+	// it (stale or 503+Retry-After) so the client backs off instead of
+	// retrying into the same wall.
+	if p.ov.Enabled {
+		switch {
+		case errors.Is(err, breaker.ErrOpen):
+			p.shed(w, req, "breaker")
+			return
+		case errors.Is(err, context.DeadlineExceeded):
+			p.stats.Add(req.ID, psDeadlineSheds, 1)
+			p.shed(w, req, "deadline")
+			return
+		}
 	}
 
 	// Degraded mode: the origin is down and retries are exhausted. Serve the
@@ -512,13 +590,24 @@ func (p *Proxy) staleHas(id uint64) (int64, bool) {
 
 // fetchResilient fetches one object with coalescing and retries. Coalesced
 // fetches run under a detached context: their outcome is shared by every
-// waiter, so they must not die with the leader's client connection.
+// waiter, so they must not die with the leader's client connection. Under
+// overload protection the detached fetch keeps the leader's *deadline* (but
+// not its cancellation), so a doomed shared fetch is still cut short, and
+// waiters stop waiting when their own deadline expires.
 func (p *Proxy) fetchResilient(ctx context.Context, id uint64, size int64) error {
 	if !p.res.Coalesce {
 		return p.fetchRetry(ctx, id, size)
 	}
-	err, shared := p.flights.do(flightKey{id: id, size: size}, func() error {
-		return p.fetchRetry(context.Background(), id, size)
+	err, shared := p.flights.do(ctx, flightKey{id: id, size: size}, func() error {
+		fctx := context.Background()
+		if p.ov.Enabled {
+			if dl, ok := ctx.Deadline(); ok {
+				dctx, cancel := context.WithDeadline(fctx, dl)
+				defer cancel()
+				fctx = dctx
+			}
+		}
+		return p.fetchRetry(fctx, id, size)
 	})
 	if shared {
 		p.stats.Add(id, psCoalesced, 1)
@@ -527,18 +616,35 @@ func (p *Proxy) fetchResilient(ctx context.Context, id uint64, size int64) error
 }
 
 // fetchRetry runs up to MaxAttempts origin fetches with exponential backoff
-// and jitter between attempts.
+// and jitter between attempts. Under overload protection every attempt must
+// pass the circuit breaker (an open breaker fails the miss immediately with
+// ErrOpen) and every attempt beyond the first must win a token from the
+// rolling-window retry budget — the cap that keeps the backoff path from
+// probing a sick origin harder than the breaker's half-open budget.
 func (p *Proxy) fetchRetry(ctx context.Context, id uint64, size int64) error {
 	var lastErr error
 	for attempt := 0; attempt < p.res.MaxAttempts; attempt++ {
 		if attempt > 0 {
+			if p.retryBudget != nil && !p.retryBudget.Allow() {
+				p.stats.Add(id, psRetryBudgetDenied, 1)
+				break
+			}
 			p.stats.Add(id, psRetries, 1)
 			if err := sleepCtx(ctx, p.backoff(attempt)); err != nil {
 				break
 			}
 		}
+		if p.brk != nil && !p.brk.Allow() {
+			p.stats.Add(id, psBreakerRejects, 1)
+			lastErr = breaker.ErrOpen
+			break
+		}
 		p.stats.Add(id, psOriginFetches, 1)
-		if err := p.fetchDiscard(ctx, id, size); err != nil {
+		err := p.fetchMaybeHedged(ctx, id, size)
+		if p.brk != nil {
+			p.brk.Record(err == nil)
+		}
+		if err != nil {
 			lastErr = err
 			if ctx.Err() != nil {
 				break

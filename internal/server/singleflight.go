@@ -1,6 +1,9 @@
 package server
 
-import "sync"
+import (
+	"context"
+	"sync"
+)
 
 // flightKey identifies one origin object for request coalescing.
 type flightKey struct {
@@ -9,13 +12,15 @@ type flightKey struct {
 }
 
 // flightCall is one in-flight origin fetch shared by all coalesced waiters.
+// done is closed when fn returns; err is written before the close, so any
+// waiter woken by done observes it.
 type flightCall struct {
-	wg  sync.WaitGroup
-	err error
+	done chan struct{}
+	err  error
 }
 
 // flightGroup is a minimal single-flight implementation (stdlib-only stand-in
-// for golang.org/x/sync/singleflight): concurrent Do calls with the same key
+// for golang.org/x/sync/singleflight): concurrent do calls with the same key
 // share one execution of fn, so N simultaneous misses for one object cost a
 // single origin fetch — the proxy's thundering-herd protection.
 type flightGroup struct {
@@ -25,19 +30,25 @@ type flightGroup struct {
 
 // do executes fn once per key among concurrent callers, returning fn's error
 // to every waiter. shared reports whether this caller piggybacked on another
-// caller's fetch rather than performing its own.
-func (g *flightGroup) do(key flightKey, fn func() error) (err error, shared bool) {
+// caller's fetch rather than performing its own. A waiter whose ctx ends
+// before the shared fetch completes stops waiting and returns ctx.Err() —
+// the leader keeps running for the remaining waiters (deadline-propagating
+// callers shed instead of blocking on work they can no longer use).
+func (g *flightGroup) do(ctx context.Context, key flightKey, fn func() error) (err error, shared bool) {
 	g.mu.Lock()
 	if g.m == nil {
 		g.m = make(map[flightKey]*flightCall)
 	}
 	if c, ok := g.m[key]; ok {
 		g.mu.Unlock()
-		c.wg.Wait()
-		return c.err, true
+		select {
+		case <-c.done:
+			return c.err, true
+		case <-ctx.Done():
+			return ctx.Err(), true
+		}
 	}
-	c := &flightCall{}
-	c.wg.Add(1)
+	c := &flightCall{done: make(chan struct{})}
 	g.m[key] = c
 	g.mu.Unlock()
 
@@ -46,6 +57,6 @@ func (g *flightGroup) do(key flightKey, fn func() error) (err error, shared bool
 	g.mu.Lock()
 	delete(g.m, key)
 	g.mu.Unlock()
-	c.wg.Done()
+	close(c.done)
 	return c.err, false
 }
