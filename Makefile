@@ -5,7 +5,7 @@
 
 GO ?= go
 
-.PHONY: tier1 vet build test lint race fuzz bench microbench chaos
+.PHONY: tier1 vet build test lint race fuzz bench microbench chaos chaos-crash
 
 tier1: build vet lint test
 
@@ -25,18 +25,27 @@ lint:
 	$(GO) run ./cmd/darwinlint ./...
 
 race:
-	$(GO) test -race ./internal/server ./internal/lb ./internal/cache ./internal/stripe ./internal/par ./internal/core ./internal/exp ./internal/bloom ./internal/bandit ./internal/breaker
+	$(GO) test -race ./internal/server ./internal/lb ./internal/cache ./internal/stripe ./internal/par ./internal/core ./internal/exp ./internal/bloom ./internal/bandit ./internal/breaker ./internal/diskcache ./internal/persist
 
-# fuzz runs each fuzz target briefly: URL parsing on the proxy/origin seam
-# and the Bloom filter's uint64/string hash-identity invariants.
+# fuzz runs each fuzz target briefly: URL parsing on the proxy/origin seam,
+# the Bloom filter's uint64/string hash-identity invariants, and the
+# durability decoders (persist frames, journal records/segments, checkpoint
+# and neural-weight payloads) — corrupted on-disk bytes must produce typed
+# errors, never panics.
 fuzz:
 	$(GO) test ./internal/server -fuzz FuzzParseObjectURL -fuzztime 10s
 	$(GO) test ./internal/bloom -fuzz FuzzHashIdentity -fuzztime 10s
 	$(GO) test ./internal/bloom -fuzz FuzzFilterU64StringIdentity -fuzztime 10s
 	$(GO) test ./internal/bloom -fuzz FuzzCountingU64StringIdentity -fuzztime 10s
+	$(GO) test ./internal/persist -fuzz FuzzDecodeFrame -fuzztime 10s
+	$(GO) test ./internal/diskcache -fuzz FuzzDecodeRecord -fuzztime 10s
+	$(GO) test ./internal/diskcache -fuzz FuzzOpenSegment -fuzztime 10s
+	$(GO) test ./internal/core -fuzz FuzzDecodeCheckpoint -fuzztime 10s
+	$(GO) test ./internal/neural -fuzz FuzzUnmarshalNet -fuzztime 10s
 
-# bench runs the reproducible performance harness (hot-path micro benchmarks
-# plus serial-vs-parallel sweep timings) and writes BENCH_<date>.json.
+# bench runs the reproducible performance harness (hot-path micro benchmarks,
+# durability journal/recovery costs, serial-vs-parallel sweep timings) and
+# writes BENCH_<date>.json.
 bench:
 	$(GO) run ./cmd/bench
 
@@ -45,3 +54,11 @@ microbench:
 
 chaos:
 	$(GO) run ./cmd/experiments -only chaos
+
+# chaos-crash is the crash-recovery suite: the in-process experiment (SIGKILL
+# simulated by abandoning the journal) and the real-process test that
+# SIGKILLs a durable darwin-proxy binary mid-traffic and asserts the restart
+# recovers the DC from the journal.
+chaos-crash:
+	$(GO) run ./cmd/experiments -only crash
+	DARWIN_CRASH_PROC=1 $(GO) test ./cmd/darwin-proxy -run TestCrashRecoveryProcess -v

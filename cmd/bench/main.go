@@ -30,9 +30,11 @@ import (
 	"darwin/internal/baselines"
 	"darwin/internal/bloom"
 	"darwin/internal/cache"
+	"darwin/internal/diskcache"
 	"darwin/internal/exp"
 	"darwin/internal/features"
 	"darwin/internal/par"
+	"darwin/internal/persist"
 	"darwin/internal/server"
 	"darwin/internal/trace"
 )
@@ -78,6 +80,17 @@ type ProxyBench struct {
 	Shed       int     `json:"shed,omitempty"`
 }
 
+// Durability records the cost of the crash-safety layer: journal append
+// latency under each fsync policy, and how fast a journal replays on restart.
+type Durability struct {
+	// JournalPut holds one Micro per fsync policy (off, batch, always).
+	JournalPut []Micro `json:"journal_put"`
+	// Recovery measures diskcache.Open over a pre-written journal.
+	RecoveryRecords       int     `json:"recovery_records"`
+	RecoverySeconds       float64 `json:"recovery_seconds"`
+	RecoveryRecordsPerSec float64 `json:"recovery_records_per_sec"`
+}
+
 // Report is the full benchmark record.
 type Report struct {
 	Date        string       `json:"date"`
@@ -88,6 +101,7 @@ type Report struct {
 	GOMAXPROCS  int          `json:"gomaxprocs"`
 	Parallelism int          `json:"parallelism"`
 	Micro       []Micro      `json:"micro"`
+	Durability  Durability   `json:"durability"`
 	Sweeps      []Sweep      `json:"sweeps"`
 	Proxy       []ProxyBench `json:"proxy"`
 }
@@ -134,6 +148,19 @@ func main() {
 		fmt.Printf("  %-28s %10.1f ns/op  %4d allocs/op  %8.0f ops/s\n",
 			m.Name, m.NsPerOp, m.AllocsPerOp, m.OpsPerSec)
 	}
+
+	fmt.Println("\n== durability (DC journal append + crash recovery) ==")
+	dur, err := benchDurability()
+	if err != nil {
+		fatal(err)
+	}
+	rep.Durability = dur
+	for _, m := range dur.JournalPut {
+		fmt.Printf("  %-28s %10.1f ns/op  %4d allocs/op  %8.0f ops/s\n",
+			m.Name, m.NsPerOp, m.AllocsPerOp, m.OpsPerSec)
+	}
+	fmt.Printf("  %-28s %d records in %.3fs  (%.0f records/s)\n",
+		"journal-recovery", dur.RecoveryRecords, dur.RecoverySeconds, dur.RecoveryRecordsPerSec)
 
 	fmt.Printf("\n== sweeps (serial vs %d workers) ==\n", *parallelism)
 	sw, err := sweepEvaluateAll(tr, *parallelism)
@@ -187,7 +214,7 @@ func main() {
 		fatal(err)
 	}
 	data = append(data, '\n')
-	if err := os.WriteFile(path, data, 0o644); err != nil {
+	if err := persist.WriteFileAtomic(path, data, 0o644); err != nil {
 		fatal(err)
 	}
 	fmt.Printf("\nwrote %s\n", path)
@@ -265,6 +292,75 @@ func benchBloom(tr *trace.Trace) testing.BenchmarkResult {
 			f.TestAndAddU64(reqs[i%len(reqs)].ID)
 		}
 	})
+}
+
+// benchDurability times the DC journal under each fsync policy and measures
+// replay speed on reopen — the two numbers that price crash safety: what a
+// durable admission costs on the hot path, and how long a restart spends
+// rebuilding the index.
+func benchDurability() (Durability, error) {
+	var d Durability
+	for _, pol := range []diskcache.SyncPolicy{diskcache.SyncOff, diskcache.SyncBatch, diskcache.SyncAlways} {
+		pol := pol
+		r := testing.Benchmark(func(b *testing.B) {
+			dir, err := os.MkdirTemp("", "bench-journal-*")
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer os.RemoveAll(dir)
+			st, err := diskcache.Open(diskcache.Config{Dir: dir, Sync: pol})
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				st.Put(uint64(i), 4096)
+			}
+			b.StopTimer()
+			if err := st.Close(); err != nil {
+				b.Fatal(err)
+			}
+		})
+		d.JournalPut = append(d.JournalPut, micro("journal-put/fsync="+pol.String(), r))
+	}
+
+	// Recovery: replay a 200k-record journal (puts with a delete tail) and
+	// time the index rebuild that Open performs.
+	const recRecords = 200_000
+	dir, err := os.MkdirTemp("", "bench-recovery-*")
+	if err != nil {
+		return d, err
+	}
+	defer os.RemoveAll(dir)
+	st, err := diskcache.Open(diskcache.Config{Dir: dir, Sync: diskcache.SyncOff})
+	if err != nil {
+		return d, err
+	}
+	for i := 0; i < recRecords*9/10; i++ {
+		st.Put(uint64(i), 4096)
+	}
+	for i := 0; i < recRecords/10; i++ {
+		st.Remove(uint64(i))
+	}
+	if err := st.Close(); err != nil {
+		return d, err
+	}
+	start := time.Now()
+	st2, err := diskcache.Open(diskcache.Config{Dir: dir, Sync: diskcache.SyncOff})
+	if err != nil {
+		return d, err
+	}
+	elapsed := time.Since(start)
+	stats := st2.Stats()
+	if err := st2.Close(); err != nil {
+		return d, err
+	}
+	replayed := int(stats.RecoveredPuts + stats.RecoveredDeletes)
+	d.RecoveryRecords = replayed
+	d.RecoverySeconds = elapsed.Seconds()
+	d.RecoveryRecordsPerSec = float64(replayed) / elapsed.Seconds()
+	return d, nil
 }
 
 // sweepEvaluateAll times the expert-grid evaluation (the inner loop of

@@ -44,6 +44,12 @@ func main() {
 		shards    = flag.Int("shards", runtime.NumCPU(), "cache engine shard count (1 = serial/global-lock data plane)")
 		modelPath = flag.String("model", "", "pre-trained model file from darwin-train (skips startup training)")
 
+		dataDir    = flag.String("data-dir", "", "durable state directory: DC journal + learned-state checkpoints (empty = in-memory only)")
+		fsyncPol   = flag.String("fsync", "batch", "journal fsync policy: batch | always | off")
+		fsyncBatch = flag.Int("fsync-batch", 256, "journal appends per fsync under -fsync=batch")
+		segBytes   = flag.Int64("segment-bytes", 16<<20, "journal segment size before rotation (bytes)")
+		ckptEvery  = flag.Duration("checkpoint-interval", 30*time.Second, "learned-state checkpoint period (0 = checkpoint only at shutdown)")
+
 		resilient    = flag.Bool("resilient", true, "enable the fault-tolerance layer (retries, coalescing, serve-stale)")
 		retries      = flag.Int("retries", 4, "total origin fetch attempts per miss (1 = no retry)")
 		fetchTimeout = flag.Duration("fetch-timeout", 2*time.Second, "per-attempt origin fetch deadline")
@@ -71,23 +77,49 @@ func main() {
 		dec server.Decider
 		err error
 	)
+	// Durable state: open the DC journal and load any checkpoint before
+	// building engines, so both plug into the construction below.
+	var dur *durability
+	var dclog cache.DCLog
+	if *dataDir != "" {
+		dur, err = openDurability(*dataDir, *fsyncPol, *fsyncBatch, *segBytes, *ckptEvery)
+		if err != nil {
+			fatal(err)
+		}
+		dclog = dur.store
+	}
+	var (
+		shEng *cache.Sharded
+		ctrl  *core.Controller
+		model *core.Model
+	)
 	switch *mode {
 	case "static":
-		dec, err = baselines.NewStaticSharded(cache.Expert{Freq: *f, MaxSize: *s},
-			cache.EvalConfig{HOCBytes: *hoc, DCBytes: *dc}, *shards)
+		var st *baselines.Static
+		st, err = baselines.NewStaticSharded(cache.Expert{Freq: *f, MaxSize: *s},
+			cache.EvalConfig{HOCBytes: *hoc, DCBytes: *dc, DCLog: dclog}, *shards)
+		if err == nil {
+			dec = st
+			shEng = st.Engine().(*cache.Sharded)
+		}
 	case "darwin":
-		var model *core.Model
 		sc := exp.Default()
 		sc.Eval.HOCBytes = *hoc
 		sc.Eval.DCBytes = *dc
-		if *modelPath != "" {
+		switch {
+		case *modelPath != "":
 			var fd *os.File
 			fd, err = os.Open(*modelPath)
 			if err == nil {
 				model, err = core.ReadModel(fd)
 				fd.Close()
 			}
-		} else {
+		case dur != nil && dur.loaded != nil && dur.loaded.Model != nil:
+			// Fast restart: the checkpoint carries the trained model, so a
+			// crashed proxy skips retraining entirely.
+			fmt.Fprintln(os.Stderr, "darwin-proxy: reusing trained model from checkpoint")
+			model = dur.loaded.Model
+		default:
 			fmt.Fprintln(os.Stderr, "darwin-proxy: training offline model on a synthetic corpus...")
 			var c *exp.Corpus
 			c, err = exp.BuildCorpus(sc, *objective)
@@ -100,9 +132,13 @@ func main() {
 				sc.Online.Warmup = model.FeatureWindow
 			}
 			var eng *cache.Sharded
-			eng, err = cache.NewSharded(cache.Config{HOCBytes: *hoc, DCBytes: *dc}, *shards)
+			eng, err = cache.NewSharded(cache.Config{HOCBytes: *hoc, DCBytes: *dc, DCLog: dclog}, *shards)
 			if err == nil {
-				dec, err = core.NewController(model, eng, sc.Online)
+				ctrl, err = core.NewController(model, eng, sc.Online)
+				if err == nil {
+					dec = ctrl
+					shEng = eng
+				}
 			}
 		}
 	default:
@@ -110,6 +146,9 @@ func main() {
 	}
 	if err != nil {
 		fatal(err)
+	}
+	if dur != nil {
+		dur.attach(shEng, ctrl, model)
 	}
 
 	res := server.Resilience{
@@ -138,7 +177,14 @@ func main() {
 		RetryBudget:       *retryBudget,
 	}
 	proxy := server.NewOverloadProxy(dec, *origin, *dcLatency, res, ov)
-	health := server.NewHealth(server.Gate{Name: "breaker", Ready: proxy.Ready})
+	gates := []server.Gate{{Name: "breaker", Ready: proxy.Ready}}
+	if dur != nil {
+		// The proxy serves during recovery (cache misses are correct, just
+		// cold), but /readyz holds 503 so balancers don't route to a
+		// still-warming instance.
+		gates = append(gates, server.Gate{Name: "recovery", Ready: dur.recovered.Load})
+	}
+	health := server.NewHealth(gates...)
 	mux := http.NewServeMux()
 	mux.Handle("/obj/", proxy)
 	mux.HandleFunc("/healthz", health.Healthz)
@@ -156,6 +202,11 @@ func main() {
 			fmt.Fprintf(w, "breaker_state %s\nbreaker_opens %d\nbreaker_half_opens %d\nbreaker_reopens %d\nbreaker_closes %d\nbreaker_denied %d\nbreaker_probes %d\n",
 				bs.State, bs.Opens, bs.HalfOpens, bs.Reopens, bs.Closes, bs.Denied, bs.Probes)
 		}
+		if dur != nil {
+			ds := dur.store.Stats()
+			fmt.Fprintf(w, "recovered %d\njournal_live_objects %d\njournal_live_bytes %d\njournal_log_bytes %d\njournal_segments %d\njournal_syncs %d\njournal_compactions %d\njournal_dropped_ops %d\nrecovered_puts %d\n",
+				boolToInt(dur.recovered.Load()), ds.LiveObjects, ds.LiveBytes, ds.LogBytes, ds.Segments, ds.Syncs, ds.Compactions, ds.DroppedOps, ds.RecoveredPuts)
+		}
 	})
 	// Timeouts close slowloris-style connections that trickle headers or
 	// hold sockets idle; graceful shutdown drains in-flight requests.
@@ -170,9 +221,21 @@ func main() {
 	if err := runServer(srv, *drain, health); err != nil {
 		fatal(err)
 	}
+	if dur != nil {
+		// The server has drained: capture a final quiesced checkpoint and
+		// close the journal cleanly.
+		dur.close()
+	}
 	st := proxy.Stats()
 	fmt.Fprintf(os.Stderr, "darwin-proxy: %d origin fetches, %d retries, %d coalesced, %d stale serves, %d fetch failures\n",
 		st.OriginFetches, st.Retries, st.Coalesced, st.StaleServes, st.FetchFailures)
+}
+
+func boolToInt(b bool) int {
+	if b {
+		return 1
+	}
+	return 0
 }
 
 // runServer serves until SIGINT/SIGTERM, then runs the health-gated drain:

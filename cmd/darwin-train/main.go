@@ -9,6 +9,7 @@
 package main
 
 import (
+	"bytes"
 	"flag"
 	"fmt"
 	"os"
@@ -18,6 +19,7 @@ import (
 	"darwin/internal/cache"
 	"darwin/internal/core"
 	"darwin/internal/exp"
+	"darwin/internal/persist"
 	"darwin/internal/trace"
 )
 
@@ -104,12 +106,13 @@ func main() {
 		}
 	}
 
-	fd, err := os.Create(*out)
-	if err != nil {
+	// Buffer the model and land it atomically: a crash or full disk mid-write
+	// must never leave a torn model file where a good one stood.
+	var buf bytes.Buffer
+	if err := core.WriteModel(&buf, model); err != nil {
 		fatal(err)
 	}
-	defer fd.Close()
-	if err := core.WriteModel(fd, model); err != nil {
+	if err := persist.WriteFileAtomic(*out, buf.Bytes(), 0o644); err != nil {
 		fatal(err)
 	}
 	trained := 0

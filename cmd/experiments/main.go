@@ -8,6 +8,7 @@
 //	experiments                 # all experiments at benchmark ("small") scale
 //	experiments -scale default  # the fuller scaled operating point
 //	experiments -only fig4a,table2
+//	experiments -only crash     # SIGKILL crash-recovery chaos arm
 package main
 
 import (
@@ -222,6 +223,17 @@ func main() {
 			cc := exp.DefaultChaosConfig()
 			cc.Prototype.Shards = *shards
 			rep, err := exp.ChaosReport(cc)
+			if err != nil {
+				return err
+			}
+			emit(rep)
+			return nil
+		}},
+		{"crash", func() error {
+			cc := exp.DefaultCrashConfig()
+			cc.Scale = sc
+			cc.Shards = *shards
+			rep, err := exp.CrashRecoveryReport(cc)
 			if err != nil {
 				return err
 			}

@@ -9,10 +9,12 @@
 package main
 
 import (
+	"bytes"
 	"flag"
 	"fmt"
 	"os"
 
+	"darwin/internal/persist"
 	"darwin/internal/trace"
 	"darwin/internal/tracegen"
 )
@@ -52,16 +54,17 @@ func main() {
 		fatal(err)
 	}
 
-	w := os.Stdout
 	if *out != "" {
-		f, err := os.Create(*out)
-		if err != nil {
+		// Buffer then rename into place so an interrupted run never leaves a
+		// truncated trace file behind.
+		var buf bytes.Buffer
+		if err := tr.Write(&buf); err != nil {
 			fatal(err)
 		}
-		defer f.Close()
-		w = f
-	}
-	if err := tr.Write(w); err != nil {
+		if err := persist.WriteFileAtomic(*out, buf.Bytes(), 0o644); err != nil {
+			fatal(err)
+		}
+	} else if err := tr.Write(os.Stdout); err != nil {
 		fatal(err)
 	}
 	if *stats {

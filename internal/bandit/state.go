@@ -1,0 +1,98 @@
+package bandit
+
+import (
+	"fmt"
+	"math"
+)
+
+// State is a JSON-serialisable snapshot of an identification run. It captures
+// everything Update mutates; Config (the Σ matrix and stopping constants) is
+// deliberately excluded — the restorer reconstructs it from its own
+// configuration and SetState validates dimensional agreement against it.
+type State struct {
+	T      int       `json:"t"`
+	Plays  []int     `json:"plays"`
+	SumWY  []float64 `json:"sum_wy"`
+	Rho    []float64 `json:"rho"`
+	Mu     []float64 `json:"mu"`
+	Stable int       `json:"stable"`
+	Last   int       `json:"last"`
+	Done   bool      `json:"done"`
+	Reason string    `json:"reason"`
+}
+
+// State returns a deep-copied snapshot of the run's mutable state.
+func (a *Algorithm) State() *State {
+	return &State{
+		T:      a.t,
+		Plays:  append([]int(nil), a.plays...),
+		SumWY:  append([]float64(nil), a.sumWY...),
+		Rho:    append([]float64(nil), a.rho...),
+		Mu:     append([]float64(nil), a.mu...),
+		Stable: a.stable,
+		Last:   a.last,
+		Done:   a.done,
+		Reason: a.reason,
+	}
+}
+
+// SetState restores a snapshot taken by State onto a run created with an
+// equivalent Config. Every field is validated before anything is mutated; on
+// error the receiver is unchanged.
+func (a *Algorithm) SetState(st *State) error {
+	if st == nil {
+		return fmt.Errorf("bandit: nil state")
+	}
+	if len(st.Plays) != a.k || len(st.SumWY) != a.k || len(st.Rho) != a.k || len(st.Mu) != a.k {
+		return fmt.Errorf("bandit: state arm count mismatch: plays=%d sumWY=%d rho=%d mu=%d, want %d",
+			len(st.Plays), len(st.SumWY), len(st.Rho), len(st.Mu), a.k)
+	}
+	if st.T < 0 {
+		return fmt.Errorf("bandit: negative round count %d", st.T)
+	}
+	total := 0
+	for i, p := range st.Plays {
+		if p < 0 {
+			return fmt.Errorf("bandit: negative play count %d for arm %d", p, i)
+		}
+		total += p
+	}
+	if total != st.T {
+		return fmt.Errorf("bandit: play counts sum to %d, want t=%d", total, st.T)
+	}
+	for i := 0; i < a.k; i++ {
+		if math.IsNaN(st.SumWY[i]) || math.IsInf(st.SumWY[i], 0) ||
+			math.IsNaN(st.Rho[i]) || math.IsInf(st.Rho[i], 0) ||
+			math.IsNaN(st.Mu[i]) || math.IsInf(st.Mu[i], 0) {
+			return fmt.Errorf("bandit: non-finite estimator state for arm %d", i)
+		}
+		if st.Rho[i] < 0 {
+			return fmt.Errorf("bandit: negative precision %v for arm %d", st.Rho[i], i)
+		}
+	}
+	if st.Last < -1 || st.Last >= a.k {
+		return fmt.Errorf("bandit: last best arm %d out of range", st.Last)
+	}
+	if st.Stable < 0 {
+		return fmt.Errorf("bandit: negative stability counter %d", st.Stable)
+	}
+	switch st.Reason {
+	case "", "stability", "threshold", "max-rounds":
+	default:
+		return fmt.Errorf("bandit: unknown stop reason %q", st.Reason)
+	}
+	if st.Done && st.Reason == "" {
+		return fmt.Errorf("bandit: done without a stop reason")
+	}
+
+	a.t = st.T
+	copy(a.plays, st.Plays)
+	copy(a.sumWY, st.SumWY)
+	copy(a.rho, st.Rho)
+	copy(a.mu, st.Mu)
+	a.stable = st.Stable
+	a.last = st.Last
+	a.done = st.Done
+	a.reason = st.Reason
+	return nil
+}

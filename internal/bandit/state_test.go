@@ -1,0 +1,128 @@
+package bandit
+
+import (
+	"encoding/json"
+	"math"
+	"reflect"
+	"testing"
+)
+
+func testSigma2() [][]float64 {
+	return [][]float64{
+		{0.01, 0.02, 0.04},
+		{0.02, 0.01, 0.02},
+		{0.04, 0.02, 0.01},
+	}
+}
+
+func TestStateRoundTrip(t *testing.T) {
+	cfg := DefaultConfig(testSigma2())
+	cfg.StabilityRounds = 0 // keep it running so we snapshot mid-flight
+	a, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mus := []float64{0.3, 0.5, 0.45}
+	x := uint64(1)
+	for r := 0; r < 25; r++ {
+		arm := a.NextArm()
+		rewards := make([]float64, 3)
+		for j := range rewards {
+			x ^= x << 13
+			x ^= x >> 7
+			x ^= x << 17
+			noise := (float64(x%1000)/1000 - 0.5) * 0.1
+			rewards[j] = mus[j] + noise
+		}
+		if err := a.Update(arm, rewards); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	st := a.State()
+	blob, err := json.Marshal(st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var decoded State
+	if err := json.Unmarshal(blob, &decoded); err != nil {
+		t.Fatal(err)
+	}
+
+	b, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := b.SetState(&decoded); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a.State(), b.State()) {
+		t.Fatalf("state diverges after round trip:\n a=%+v\n b=%+v", a.State(), b.State())
+	}
+	// The restored run must make identical decisions forever after.
+	for r := 0; r < 10; r++ {
+		armA, armB := a.NextArm(), b.NextArm()
+		if armA != armB {
+			t.Fatalf("round %d: arms diverge (%d vs %d)", r, armA, armB)
+		}
+		rewards := []float64{0.3, 0.5, 0.45}
+		if err := a.Update(armA, rewards); err != nil {
+			t.Fatal(err)
+		}
+		if err := b.Update(armB, rewards); err != nil {
+			t.Fatal(err)
+		}
+		if a.Stopped() != b.Stopped() || a.Recommendation() != b.Recommendation() {
+			t.Fatalf("round %d: stop/recommendation diverge", r)
+		}
+	}
+}
+
+func TestSetStateRejectsInvalid(t *testing.T) {
+	a, err := New(DefaultConfig(testSigma2()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Update(a.NextArm(), []float64{1, 1, 1}); err != nil {
+		t.Fatal(err)
+	}
+	before := a.State()
+	good := a.State()
+
+	cases := []struct {
+		name string
+		mut  func(st *State)
+	}{
+		{"nil", nil},
+		{"short-plays", func(st *State) { st.Plays = st.Plays[:1] }},
+		{"negative-t", func(st *State) { st.T = -1 }},
+		{"negative-play", func(st *State) { st.Plays[0] = -2 }},
+		{"plays-sum-mismatch", func(st *State) { st.T = 99 }},
+		{"nan-mu", func(st *State) { st.Mu[1] = math.NaN() }},
+		{"inf-sumwy", func(st *State) { st.SumWY[0] = math.Inf(1) }},
+		{"negative-rho", func(st *State) { st.Rho[2] = -1 }},
+		{"last-out-of-range", func(st *State) { st.Last = 7 }},
+		{"negative-stable", func(st *State) { st.Stable = -1 }},
+		{"bogus-reason", func(st *State) { st.Reason = "vibes" }},
+		{"done-no-reason", func(st *State) { st.Done = true; st.Reason = "" }},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var bad *State
+			if tc.mut != nil {
+				blob, _ := json.Marshal(good)
+				bad = &State{}
+				if err := json.Unmarshal(blob, bad); err != nil {
+					t.Fatal(err)
+				}
+				tc.mut(bad)
+			}
+			if err := a.SetState(bad); err == nil {
+				t.Fatal("invalid state accepted")
+			}
+			if !reflect.DeepEqual(a.State(), before) {
+				t.Fatal("failed SetState mutated the algorithm")
+			}
+		})
+	}
+}

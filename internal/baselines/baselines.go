@@ -57,6 +57,7 @@ func newHierarchy(cfg cache.EvalConfig, e cache.Expert) (*cache.Hierarchy, error
 		HOCEviction: cfg.HOCEviction,
 		DCEviction:  cfg.DCEviction,
 		Expert:      e,
+		DCLog:       cfg.DCLog,
 	})
 }
 
@@ -91,6 +92,7 @@ func NewStaticSharded(e cache.Expert, cfg cache.EvalConfig, shards int) (*Static
 		HOCEviction: cfg.HOCEviction,
 		DCEviction:  cfg.DCEviction,
 		Expert:      e,
+		DCLog:       cfg.DCLog,
 	}, shards)
 	if err != nil {
 		return nil, err

@@ -16,6 +16,9 @@ type EvalConfig struct {
 	WarmupFrac float64
 	// HOCEviction and DCEviction name eviction policies; empty means LRU.
 	HOCEviction, DCEviction string
+	// DCLog optionally journals DC admissions and evictions to a durable
+	// write-ahead log (nil = no journaling; simulation default).
+	DCLog DCLog
 }
 
 // DefaultEvalConfig returns the scaled simulator defaults (DESIGN.md §5):

@@ -113,6 +113,10 @@ type Config struct {
 	// BloomObjects sizes the DC one-hit-wonder filter; 0 selects a default
 	// of one million expected objects.
 	BloomObjects int
+	// DCLog, when non-nil, receives every DC admission and eviction so a
+	// durable store can rebuild the DC after a crash. Nil (the default)
+	// keeps the hierarchy fully in-memory with an unchanged hot path.
+	DCLog DCLog
 }
 
 // Hierarchy is the two-level HOC+DC cache server model (Figure 1 of the
@@ -120,16 +124,19 @@ type Config struct {
 // into the HOC subject to the current admission expert; a miss admits the
 // object into the DC only on its second request (Bloom filter).
 type Hierarchy struct {
-	hoc, dc        Eviction
-	hocCap, dcCap  int64
-	expert         Expert
-	admission      AdmissionFunc
-	tracker        FrequencyTracker
-	seen           *bloom.Filter
-	admitOnMiss    bool
-	reqIdx         int64
-	m              Metrics
-	expertSwitches int64
+	hoc, dc          Eviction
+	hocCap, dcCap    int64
+	hocName, dcName  string
+	expert           Expert
+	admission        AdmissionFunc
+	tracker          FrequencyTracker
+	seen             *bloom.Filter
+	seenObjects      int
+	dclog            DCLog
+	admitOnMiss      bool
+	reqIdx           int64
+	m                Metrics
+	expertSwitches   int64
 }
 
 // AdmissionFunc is a custom HOC admission predicate. It receives the
@@ -161,13 +168,17 @@ func New(cfg Config) (*Hierarchy, error) {
 		nBloom = 1 << 20
 	}
 	return &Hierarchy{
-		hoc:     hoc,
-		dc:      dc,
-		hocCap:  cfg.HOCBytes,
-		dcCap:   cfg.DCBytes,
-		expert:  cfg.Expert,
-		tracker: tracker,
-		seen:    bloom.New(nBloom, 0.01),
+		hoc:         hoc,
+		dc:          dc,
+		hocCap:      cfg.HOCBytes,
+		dcCap:       cfg.DCBytes,
+		hocName:     cfg.HOCEviction,
+		dcName:      cfg.DCEviction,
+		expert:      cfg.Expert,
+		tracker:     tracker,
+		seen:        bloom.New(nBloom, 0.01),
+		seenObjects: nBloom,
+		dclog:       cfg.DCLog,
 	}, nil
 }
 
@@ -280,8 +291,14 @@ func (h *Hierarchy) admitDC(id uint64, size int64) {
 			return
 		}
 		h.dc.Remove(vid)
+		if h.dclog != nil {
+			h.dclog.Remove(vid)
+		}
 	}
 	h.dc.Insert(id, size)
+	if h.dclog != nil {
+		h.dclog.Put(id, size)
+	}
 	h.m.DCWrites++
 	h.m.DCWriteBytes += size
 }

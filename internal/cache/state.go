@@ -1,0 +1,370 @@
+package cache
+
+import (
+	"fmt"
+	"sort"
+
+	"darwin/internal/bloom"
+)
+
+// This file is the cache engine's checkpoint/restore seam: every piece of
+// per-shard learned and resident state — HOC/DC contents in eviction order,
+// the one-hit-wonder Bloom filter, the frequency tracker, metrics, and the
+// deployed expert — exports to a plain serialisable struct and restores with
+// full validation before any live field is mutated (never half-apply).
+
+// TrackerState is the serialisable form of a FrequencyTracker. Kind selects
+// the variant; exact trackers use the parallel IDs/Counts/LastSeen arrays
+// (sorted by id), approx trackers the counting-filter image plus the
+// IDs/LastSeen last-seen table.
+type TrackerState struct {
+	Kind     string               `json:"kind"`
+	IDs      []uint64             `json:"ids,omitempty"`
+	Counts   []int                `json:"counts,omitempty"`
+	LastSeen []int64              `json:"last_seen,omitempty"`
+	Counting *bloom.CountingState `json:"counting,omitempty"`
+	MaxLast  int                  `json:"max_last,omitempty"`
+}
+
+// Tracker kinds.
+const (
+	trackerExact  = "exact"
+	trackerApprox = "approx"
+)
+
+// State snapshots the exact tracker, sorted by id for deterministic output.
+func (t *ExactTracker) State() *TrackerState {
+	st := &TrackerState{
+		Kind:     trackerExact,
+		IDs:      make([]uint64, 0, len(t.objects)),
+		Counts:   make([]int, 0, len(t.objects)),
+		LastSeen: make([]int64, 0, len(t.objects)),
+	}
+	ids := make([]uint64, 0, len(t.objects))
+	for id := range t.objects {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	for _, id := range ids {
+		e := t.objects[id]
+		st.IDs = append(st.IDs, id)
+		st.Counts = append(st.Counts, e.count)
+		st.LastSeen = append(st.LastSeen, e.lastSeen)
+	}
+	return st
+}
+
+// State snapshots the approx tracker: the counting-filter image plus the
+// bounded last-seen table, sorted by id.
+func (t *ApproxTracker) State() *TrackerState {
+	st := &TrackerState{Kind: trackerApprox, MaxLast: t.maxLast}
+	cs := t.counting.State()
+	st.Counting = &cs
+	ids := make([]uint64, 0, len(t.lastSeen))
+	for id := range t.lastSeen {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	st.IDs = make([]uint64, 0, len(ids))
+	st.LastSeen = make([]int64, 0, len(ids))
+	for _, id := range ids {
+		st.IDs = append(st.IDs, id)
+		st.LastSeen = append(st.LastSeen, t.lastSeen[id])
+	}
+	return st
+}
+
+// trackerFromState rebuilds a FrequencyTracker, validating the arrays before
+// constructing anything.
+func trackerFromState(st *TrackerState) (FrequencyTracker, error) {
+	if st == nil {
+		return nil, fmt.Errorf("cache: nil tracker state")
+	}
+	switch st.Kind {
+	case trackerExact:
+		if len(st.IDs) != len(st.Counts) || len(st.IDs) != len(st.LastSeen) {
+			return nil, fmt.Errorf("cache: exact tracker state arrays disagree (%d/%d/%d)",
+				len(st.IDs), len(st.Counts), len(st.LastSeen))
+		}
+		t := NewExactTracker()
+		for i, id := range st.IDs {
+			if st.Counts[i] <= 0 {
+				return nil, fmt.Errorf("cache: exact tracker state has count %d for id %d", st.Counts[i], id)
+			}
+			t.objects[id] = exactEntry{count: st.Counts[i], lastSeen: st.LastSeen[i]}
+		}
+		return t, nil
+	case trackerApprox:
+		if st.Counting == nil {
+			return nil, fmt.Errorf("cache: approx tracker state missing counting filter")
+		}
+		if len(st.IDs) != len(st.LastSeen) {
+			return nil, fmt.Errorf("cache: approx tracker state arrays disagree (%d/%d)", len(st.IDs), len(st.LastSeen))
+		}
+		if st.MaxLast <= 0 || len(st.IDs) > st.MaxLast {
+			return nil, fmt.Errorf("cache: approx tracker state has %d last-seen entries for bound %d", len(st.IDs), st.MaxLast)
+		}
+		counting, err := bloom.CountingFromState(*st.Counting)
+		if err != nil {
+			return nil, err
+		}
+		t := &ApproxTracker{
+			counting: counting,
+			lastSeen: make(map[uint64]int64, st.MaxLast),
+			maxLast:  st.MaxLast,
+		}
+		for i, id := range st.IDs {
+			t.lastSeen[id] = st.LastSeen[i]
+		}
+		return t, nil
+	}
+	return nil, fmt.Errorf("cache: unknown tracker kind %q", st.Kind)
+}
+
+// HierarchyState is the serialisable form of one Hierarchy (one shard). HOC
+// and DC list resident objects in the eviction policy's victim-first order,
+// so re-inserting them in order reproduces the protection order.
+type HierarchyState struct {
+	HOCBytes    int64             `json:"hoc_bytes"`
+	DCBytes     int64             `json:"dc_bytes"`
+	HOCEviction string            `json:"hoc_eviction,omitempty"`
+	DCEviction  string            `json:"dc_eviction,omitempty"`
+	HOC         []ResidentObject  `json:"hoc"`
+	DC          []ResidentObject  `json:"dc"`
+	Seen        bloom.FilterState `json:"seen"`
+	Tracker     *TrackerState     `json:"tracker"`
+	Expert      Expert            `json:"expert"`
+	ReqIdx      int64             `json:"req_idx"`
+	Metrics     Metrics           `json:"metrics"`
+	Switches    int64             `json:"expert_switches"`
+}
+
+// State snapshots the hierarchy for checkpointing. It fails only when the
+// installed frequency tracker is a custom type the checkpoint format cannot
+// represent.
+func (h *Hierarchy) State() (*HierarchyState, error) {
+	var ts *TrackerState
+	switch t := h.tracker.(type) {
+	case *ExactTracker:
+		ts = t.State()
+	case *ApproxTracker:
+		ts = t.State()
+	default:
+		return nil, fmt.Errorf("cache: tracker %T is not checkpointable", h.tracker)
+	}
+	return &HierarchyState{
+		HOCBytes:    h.hocCap,
+		DCBytes:     h.dcCap,
+		HOCEviction: h.hocName,
+		DCEviction:  h.dcName,
+		HOC:         h.hoc.Entries(),
+		DC:          h.dc.Entries(),
+		Seen:        h.seen.State(),
+		Tracker:     ts,
+		Expert:      h.expert,
+		ReqIdx:      h.reqIdx,
+		Metrics:     h.m,
+		Switches:    h.expertSwitches,
+	}, nil
+}
+
+// restoredParts holds a fully validated restore, built before any live field
+// is touched so a bad snapshot can never half-apply.
+type restoredParts struct {
+	hoc, dc Eviction
+	seen    *bloom.Filter
+	tracker FrequencyTracker
+}
+
+// prepareRestoreState validates st against this hierarchy's configuration
+// and builds the replacement structures without mutating anything.
+func (h *Hierarchy) prepareRestoreState(st *HierarchyState) (restoredParts, error) {
+	var parts restoredParts
+	if st == nil {
+		return parts, fmt.Errorf("cache: nil hierarchy state")
+	}
+	if st.HOCBytes != h.hocCap || st.DCBytes != h.dcCap {
+		return parts, fmt.Errorf("cache: snapshot capacities (hoc=%d dc=%d) do not match engine (hoc=%d dc=%d)",
+			st.HOCBytes, st.DCBytes, h.hocCap, h.dcCap)
+	}
+	if st.HOCEviction != h.hocName || st.DCEviction != h.dcName {
+		return parts, fmt.Errorf("cache: snapshot eviction policies (%q/%q) do not match engine (%q/%q)",
+			st.HOCEviction, st.DCEviction, h.hocName, h.dcName)
+	}
+	hoc, err := rebuildLevel(h.hocName, h.hocCap, st.HOC)
+	if err != nil {
+		return parts, fmt.Errorf("cache: restoring HOC: %w", err)
+	}
+	dc, err := rebuildLevel(h.dcName, h.dcCap, st.DC)
+	if err != nil {
+		return parts, fmt.Errorf("cache: restoring DC: %w", err)
+	}
+	seen, err := bloom.FilterFromState(st.Seen)
+	if err != nil {
+		return parts, err
+	}
+	tracker, err := trackerFromState(st.Tracker)
+	if err != nil {
+		return parts, err
+	}
+	parts = restoredParts{hoc: hoc, dc: dc, seen: seen, tracker: tracker}
+	return parts, nil
+}
+
+// commitRestoreState installs a prepared restore.
+func (h *Hierarchy) commitRestoreState(st *HierarchyState, parts restoredParts) {
+	h.hoc = parts.hoc
+	h.dc = parts.dc
+	h.seen = parts.seen
+	h.tracker = parts.tracker
+	h.expert = st.Expert
+	h.reqIdx = st.ReqIdx
+	h.m = st.Metrics
+	h.expertSwitches = st.Switches
+}
+
+// RestoreState replaces the hierarchy's resident and learned state with a
+// snapshot. The snapshot is validated in full first; on error the hierarchy
+// is unchanged. The DC journal is deliberately not written during restore —
+// after a crash the disk log itself is the fresher source of DC truth and is
+// reconciled separately via RestoreDC.
+func (h *Hierarchy) RestoreState(st *HierarchyState) error {
+	parts, err := h.prepareRestoreState(st)
+	if err != nil {
+		return err
+	}
+	h.commitRestoreState(st, parts)
+	return nil
+}
+
+// rebuildLevel reconstructs one eviction policy from a victim-first entry
+// list, rejecting malformed entries and capacity overflow.
+func rebuildLevel(name string, capBytes int64, entries []ResidentObject) (Eviction, error) {
+	ev, err := NewEvictionWithCapacity(name, capBytes)
+	if err != nil {
+		return nil, err
+	}
+	var total int64
+	seen := make(map[uint64]bool, len(entries))
+	for _, e := range entries {
+		if e.Size <= 0 {
+			return nil, fmt.Errorf("object %d has size %d", e.ID, e.Size)
+		}
+		if seen[e.ID] {
+			return nil, fmt.Errorf("object %d appears twice", e.ID)
+		}
+		seen[e.ID] = true
+		total += e.Size
+		if total > capBytes {
+			return nil, fmt.Errorf("entries total %d bytes, capacity %d", total, capBytes)
+		}
+		ev.Insert(e.ID, e.Size)
+	}
+	return ev, nil
+}
+
+// RestoreDC rebuilds only the DC level from a journal's live set, given
+// oldest-first: when the set no longer fits (the capacity shrank between
+// runs), the oldest entries are dropped and the most recently admitted
+// objects are kept. Used to reconcile the DC against the disk log after a
+// checkpoint restore — the log is always at least as fresh as the
+// checkpoint. No metrics are charged and nothing is journaled.
+func (h *Hierarchy) RestoreDC(entries []ResidentObject) error {
+	dc, err := NewEvictionWithCapacity(h.dcName, h.dcCap)
+	if err != nil {
+		return err
+	}
+	// Walk backwards to find the newest suffix that fits.
+	var total int64
+	start := len(entries)
+	for i := len(entries) - 1; i >= 0; i-- {
+		if entries[i].Size <= 0 {
+			return fmt.Errorf("cache: journal entry %d has size %d", entries[i].ID, entries[i].Size)
+		}
+		if total+entries[i].Size > h.dcCap {
+			break
+		}
+		total += entries[i].Size
+		start = i
+	}
+	for _, e := range entries[start:] {
+		dc.Insert(e.ID, e.Size)
+	}
+	h.dc = dc
+	return nil
+}
+
+// ShardedState is the serialisable form of a Sharded engine: one
+// HierarchyState per shard, in shard order.
+type ShardedState struct {
+	Shards []*HierarchyState `json:"shards"`
+}
+
+// State snapshots every shard. Each shard is captured under its own lock;
+// the aggregate is per-shard consistent (the same consistency Metrics
+// provides), which is exactly what a restart needs.
+func (s *Sharded) State() (*ShardedState, error) {
+	st := &ShardedState{Shards: make([]*HierarchyState, len(s.shards))}
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.Lock()
+		hs, err := sh.h.State()
+		sh.mu.Unlock()
+		if err != nil {
+			return nil, fmt.Errorf("cache: shard %d: %w", i, err)
+		}
+		st.Shards[i] = hs
+	}
+	return st, nil
+}
+
+// RestoreState restores every shard from a snapshot taken with the same
+// shard count. All shard snapshots are validated before any shard is
+// mutated, so a corrupt snapshot leaves the engine untouched.
+func (s *Sharded) RestoreState(st *ShardedState) error {
+	if st == nil {
+		return fmt.Errorf("cache: nil sharded state")
+	}
+	if len(st.Shards) != len(s.shards) {
+		return fmt.Errorf("cache: snapshot has %d shards, engine has %d", len(st.Shards), len(s.shards))
+	}
+	parts := make([]restoredParts, len(s.shards))
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.Lock()
+		p, err := sh.h.prepareRestoreState(st.Shards[i])
+		sh.mu.Unlock()
+		if err != nil {
+			return fmt.Errorf("cache: shard %d: %w", i, err)
+		}
+		parts[i] = p
+	}
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.Lock()
+		sh.h.commitRestoreState(st.Shards[i], parts[i])
+		sh.publishLocked()
+		sh.mu.Unlock()
+	}
+	return nil
+}
+
+// RestoreDC reconciles every shard's DC against a journal live set (given
+// oldest-first), routing each entry to its owning shard.
+func (s *Sharded) RestoreDC(entries []ResidentObject) error {
+	perShard := make([][]ResidentObject, len(s.shards))
+	for _, e := range entries {
+		i := s.route(e.ID)
+		perShard[i] = append(perShard[i], e)
+	}
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.Lock()
+		err := sh.h.RestoreDC(perShard[i])
+		sh.mu.Unlock()
+		if err != nil {
+			return fmt.Errorf("cache: shard %d: %w", i, err)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,322 @@
+package cache
+
+import (
+	"encoding/json"
+	"reflect"
+	"testing"
+
+	"darwin/internal/trace"
+)
+
+func serveSynthetic(t *testing.T, e Engine, n int, seed uint64) {
+	t.Helper()
+	x := seed
+	for i := 0; i < n; i++ {
+		// xorshift64 id stream with a zipf-ish fold, sized 1..16KiB.
+		x ^= x << 13
+		x ^= x >> 7
+		x ^= x << 17
+		id := x % 500
+		e.Serve(trace.Request{ID: id, Size: int64(1024 + id*13%15360)})
+	}
+}
+
+func newStateTestConfig() Config {
+	return Config{
+		HOCBytes:     64 << 10,
+		DCBytes:      1 << 20,
+		Expert:       Expert{Freq: 1, MaxSize: 32 << 10},
+		BloomObjects: 1 << 12,
+	}
+}
+
+// TestHierarchyStateRoundTrip: a restored hierarchy is behaviourally
+// indistinguishable from the original — same metrics, same residency, and
+// identical results on a continued request stream.
+func TestHierarchyStateRoundTrip(t *testing.T) {
+	cfg := newStateTestConfig()
+	orig, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	serveSynthetic(t, orig, 20_000, 0x9e3779b97f4a7c15)
+
+	st, err := orig.State()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Serialise through JSON, as the checkpoint file does.
+	blob, err := json.Marshal(st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var decoded HierarchyState
+	if err := json.Unmarshal(blob, &decoded); err != nil {
+		t.Fatal(err)
+	}
+
+	restored, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := restored.RestoreState(&decoded); err != nil {
+		t.Fatal(err)
+	}
+
+	if restored.Metrics() != orig.Metrics() {
+		t.Fatalf("metrics diverge:\n restored %+v\n original %+v", restored.Metrics(), orig.Metrics())
+	}
+	if restored.HOCBytes() != orig.HOCBytes() || restored.DCBytes() != orig.DCBytes() ||
+		restored.HOCLen() != orig.HOCLen() || restored.DCLen() != orig.DCLen() {
+		t.Fatal("occupancy diverges after restore")
+	}
+	if restored.Expert() != orig.Expert() {
+		t.Fatal("expert diverges after restore")
+	}
+
+	// Continued identical streams must produce identical outcomes — the
+	// save→restore is bit-identical for every decision input.
+	x := uint64(0xdeadbeefcafe)
+	for i := 0; i < 20_000; i++ {
+		x ^= x << 13
+		x ^= x >> 7
+		x ^= x << 17
+		id := x % 700
+		r := trace.Request{ID: id, Size: int64(1024 + id*13%15360)}
+		if a, b := orig.Serve(r), restored.Serve(r); a != b {
+			t.Fatalf("request %d: original served %v, restored served %v", i, a, b)
+		}
+	}
+	if restored.Metrics() != orig.Metrics() {
+		t.Fatalf("post-continuation metrics diverge:\n restored %+v\n original %+v", restored.Metrics(), orig.Metrics())
+	}
+
+	// Snapshot-of-restore equals snapshot-of-original (bit-identical state).
+	stA, err := orig.State()
+	if err != nil {
+		t.Fatal(err)
+	}
+	stB, err := restored.State()
+	if err != nil {
+		t.Fatal(err)
+	}
+	blobA, _ := json.Marshal(stA)
+	blobB, _ := json.Marshal(stB)
+	if string(blobA) != string(blobB) {
+		t.Fatal("re-snapshot after restore is not bit-identical")
+	}
+}
+
+func TestHierarchyStateApproxTracker(t *testing.T) {
+	cfg := newStateTestConfig()
+	cfg.Tracker = NewApproxTracker(1 << 10)
+	orig, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	serveSynthetic(t, orig, 5_000, 42)
+	st, err := orig.State()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Tracker.Kind != "approx" {
+		t.Fatalf("tracker kind = %q", st.Tracker.Kind)
+	}
+	cfg2 := newStateTestConfig()
+	cfg2.Tracker = NewApproxTracker(1 << 10)
+	restored, err := New(cfg2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := restored.RestoreState(st); err != nil {
+		t.Fatal(err)
+	}
+	if restored.Metrics() != orig.Metrics() {
+		t.Fatal("metrics diverge for approx tracker restore")
+	}
+}
+
+// TestHierarchyRestoreRejectsCorruptState: every malformed snapshot is
+// rejected whole — the target hierarchy keeps serving its own state.
+func TestHierarchyRestoreRejectsCorruptState(t *testing.T) {
+	cfg := newStateTestConfig()
+	donor, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	serveSynthetic(t, donor, 5_000, 7)
+	good, err := donor.State()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	corrupt := []struct {
+		name string
+		mut  func(st *HierarchyState)
+	}{
+		{"capacity-mismatch", func(st *HierarchyState) { st.HOCBytes++ }},
+		{"eviction-mismatch", func(st *HierarchyState) { st.DCEviction = "lfu" }},
+		{"negative-size", func(st *HierarchyState) { st.DC[0].Size = -5 }},
+		{"duplicate-entry", func(st *HierarchyState) { st.DC[1] = st.DC[0] }},
+		{"overflow", func(st *HierarchyState) { st.HOC[0].Size = st.HOCBytes + 1 }},
+		{"bloom-garbage", func(st *HierarchyState) { st.Seen.Bits = st.Seen.Bits[:8] }},
+		{"bloom-bad-k", func(st *HierarchyState) { st.Seen.K = 99 }},
+		{"tracker-nil", func(st *HierarchyState) { st.Tracker = nil }},
+		{"tracker-kind", func(st *HierarchyState) { st.Tracker.Kind = "quantum" }},
+		{"tracker-arrays", func(st *HierarchyState) { st.Tracker.Counts = st.Tracker.Counts[:1] }},
+	}
+	for _, tc := range corrupt {
+		t.Run(tc.name, func(t *testing.T) {
+			target, err := New(newStateTestConfig())
+			if err != nil {
+				t.Fatal(err)
+			}
+			serveSynthetic(t, target, 1_000, 99)
+			before, err := target.State()
+			if err != nil {
+				t.Fatal(err)
+			}
+			blobBefore, _ := json.Marshal(before)
+
+			// Deep-copy the good snapshot via JSON, then corrupt it.
+			blob, _ := json.Marshal(good)
+			var bad HierarchyState
+			if err := json.Unmarshal(blob, &bad); err != nil {
+				t.Fatal(err)
+			}
+			tc.mut(&bad)
+			if err := target.RestoreState(&bad); err == nil {
+				t.Fatal("corrupt state accepted")
+			}
+			after, err := target.State()
+			if err != nil {
+				t.Fatal(err)
+			}
+			blobAfter, _ := json.Marshal(after)
+			if string(blobBefore) != string(blobAfter) {
+				t.Fatal("failed restore mutated the hierarchy (half-applied state)")
+			}
+		})
+	}
+}
+
+func TestShardedStateRoundTrip(t *testing.T) {
+	cfg := newStateTestConfig()
+	orig, err := NewSharded(cfg, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	serveSynthetic(t, orig, 30_000, 0xabcdef)
+
+	st, err := orig.State()
+	if err != nil {
+		t.Fatal(err)
+	}
+	restored, err := NewSharded(cfg, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := restored.RestoreState(st); err != nil {
+		t.Fatal(err)
+	}
+	if restored.Metrics() != orig.Metrics() {
+		t.Fatalf("metrics diverge:\n restored %+v\n original %+v", restored.Metrics(), orig.Metrics())
+	}
+	// The lock-free mirrors must have been republished.
+	if restored.ShardMetrics(0) != orig.ShardMetrics(0) {
+		t.Fatal("shard 0 mirror not republished after restore")
+	}
+	x := uint64(31337)
+	for i := 0; i < 10_000; i++ {
+		x ^= x << 13
+		x ^= x >> 7
+		x ^= x << 17
+		id := x % 900
+		r := trace.Request{ID: id, Size: int64(512 + id%8192)}
+		if a, b := orig.Serve(r), restored.Serve(r); a != b {
+			t.Fatalf("request %d diverged after sharded restore", i)
+		}
+	}
+
+	wrong, err := NewSharded(cfg, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := wrong.RestoreState(st); err == nil {
+		t.Fatal("4-shard snapshot accepted by 2-shard engine")
+	}
+}
+
+func TestRestoreDCKeepsNewestSuffix(t *testing.T) {
+	cfg := newStateTestConfig()
+	cfg.DCBytes = 1000
+	h, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Oldest-first journal live set totalling 1500 bytes: the oldest 500
+	// must be dropped, the newest kept.
+	entries := []ResidentObject{{ID: 1, Size: 500}, {ID: 2, Size: 400}, {ID: 3, Size: 600}}
+	if err := h.RestoreDC(entries); err != nil {
+		t.Fatal(err)
+	}
+	if h.Lookup(1) != Miss {
+		t.Fatal("oldest entry should have been dropped")
+	}
+	if h.Lookup(2) != DCHit || h.Lookup(3) != DCHit {
+		t.Fatal("newest entries should be DC-resident")
+	}
+	if h.DCBytes() != 1000 {
+		t.Fatalf("DCBytes = %d, want 1000", h.DCBytes())
+	}
+	if err := h.RestoreDC([]ResidentObject{{ID: 9, Size: 0}}); err == nil {
+		t.Fatal("zero-size journal entry accepted")
+	}
+}
+
+// fakeDCLog records journal calls for hook-order assertions.
+type fakeDCLog struct {
+	puts, removes []uint64
+}
+
+func (f *fakeDCLog) Put(id uint64, size int64) { f.puts = append(f.puts, id) }
+func (f *fakeDCLog) Remove(id uint64)          { f.removes = append(f.removes, id) }
+
+func TestDCLogJournalHooks(t *testing.T) {
+	log := &fakeDCLog{}
+	h, err := New(Config{
+		HOCBytes: 1 << 10,
+		DCBytes:  1000,
+		Expert:   Expert{Freq: 1 << 30, MaxSize: 1}, // never admit to HOC
+		DCLog:    log,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	req := func(id uint64, size int64) {
+		h.Serve(trace.Request{ID: id, Size: size})
+	}
+	// Second request admits to DC (bloom), journaling a put.
+	req(1, 600)
+	req(1, 600)
+	if !reflect.DeepEqual(log.puts, []uint64{1}) {
+		t.Fatalf("puts = %v, want [1]", log.puts)
+	}
+	// Admitting a second object evicts the first: journal remove then put.
+	req(2, 600)
+	req(2, 600)
+	if !reflect.DeepEqual(log.removes, []uint64{1}) {
+		t.Fatalf("removes = %v, want [1]", log.removes)
+	}
+	if !reflect.DeepEqual(log.puts, []uint64{1, 2}) {
+		t.Fatalf("puts = %v, want [1 2]", log.puts)
+	}
+	// RestoreDC must not journal.
+	np, nr := len(log.puts), len(log.removes)
+	if err := h.RestoreDC([]ResidentObject{{ID: 5, Size: 10}}); err != nil {
+		t.Fatal(err)
+	}
+	if len(log.puts) != np || len(log.removes) != nr {
+		t.Fatal("RestoreDC wrote to the journal")
+	}
+}

@@ -298,19 +298,7 @@ func (c *Controller) finishWarmupLocked() {
 	}
 
 	sigma2 := c.buildSigmaLocked()
-	maxRounds := c.cfg.MaxRounds
-	if budget := (c.cfg.Epoch - c.epochReqs) / c.cfg.Round; budget < maxRounds {
-		maxRounds = budget
-	}
-	alg, err := bandit.New(bandit.Config{
-		Sigma2:          sigma2,
-		Delta:           c.cfg.Delta,
-		M:               1,
-		C:               100,
-		StabilityRounds: c.cfg.StabilityRounds,
-		Uniform:         c.cfg.UniformBandit,
-		MaxRounds:       maxRounds,
-	})
+	alg, err := bandit.New(banditConfig(c.cfg, sigma2, c.epochReqs))
 	if err != nil {
 		// Degenerate side information; fall back to the cluster's best mean
 		// expert for the epoch.
@@ -341,24 +329,51 @@ func (c *Controller) finishWarmupLocked() {
 // expert set using the prediction networks and the cluster's prior hit rates
 // (§4.1), scaled to round-level sample variances.
 func (c *Controller) buildSigmaLocked() [][]float64 {
-	n := len(c.set)
+	return buildSigma(c.model, c.cfg, c.set, c.clusterID, c.extended)
+}
+
+// banditConfig derives the identification run's bandit configuration from
+// the online config and the requests already consumed this epoch. Checkpoint
+// restore reuses it (with epochReqs = Warmup, the value at warm-up end) so a
+// restored run is governed by exactly the constants of the original.
+func banditConfig(cfg OnlineConfig, sigma2 [][]float64, epochReqs int) bandit.Config {
+	maxRounds := cfg.MaxRounds
+	if budget := (cfg.Epoch - epochReqs) / cfg.Round; budget < maxRounds {
+		maxRounds = budget
+	}
+	return bandit.Config{
+		Sigma2:          sigma2,
+		Delta:           cfg.Delta,
+		M:               1,
+		C:               100,
+		StabilityRounds: cfg.StabilityRounds,
+		Uniform:         cfg.UniformBandit,
+		MaxRounds:       maxRounds,
+	}
+}
+
+// buildSigma is the pure form of buildSigmaLocked, shared with checkpoint
+// restore (which must rebuild Σ from snapshotted set/cluster/features before
+// committing any controller state).
+func buildSigma(model *Model, cfg OnlineConfig, set []int, clusterID int, extended []float64) [][]float64 {
+	n := len(set)
 	sigma2 := make([][]float64, n)
 	for a := 0; a < n; a++ {
 		sigma2[a] = make([]float64, n)
-		i := c.set[a]
-		prior := c.model.MeanOHR[c.clusterID][i]
+		i := set[a]
+		prior := model.MeanOHR[clusterID][i]
 		for b := 0; b < n; b++ {
-			j := c.set[b]
-			if c.cfg.DisableSideInfo && a != b {
+			j := set[b]
+			if cfg.DisableSideInfo && a != b {
 				sigma2[a][b] = math.Inf(1)
 				continue
 			}
-			v, ok := c.model.SideVariance(i, j, prior, c.extended)
+			v, ok := model.SideVariance(i, j, prior, extended)
 			if !ok && a != b {
 				sigma2[a][b] = math.Inf(1)
 				continue
 			}
-			sigma2[a][b] = v/c.cfg.Neff + c.cfg.VarFloor
+			sigma2[a][b] = v/cfg.Neff + cfg.VarFloor
 		}
 	}
 	return sigma2

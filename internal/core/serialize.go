@@ -9,6 +9,14 @@ import (
 	"darwin/internal/cluster"
 	"darwin/internal/features"
 	"darwin/internal/neural"
+	"darwin/internal/persist"
+)
+
+// ModelMagic identifies a framed model file; ModelFormatVersion is the frame
+// format version (v2 = persist-framed JSON with checksum; v1 was bare JSON).
+const (
+	ModelMagic         = "DRWNMODL"
+	ModelFormatVersion = 2
 )
 
 // modelJSON is the on-disk form of a trained Model. The objective is encoded
@@ -32,13 +40,13 @@ type modelJSON struct {
 
 const modelVersion = 1
 
-// WriteModel serialises a trained model as JSON.
-func WriteModel(w io.Writer, m *Model) error {
+// modelToJSON converts a Model to its serialisable form. It is shared by
+// WriteModel and the checkpoint encoder.
+func modelToJSON(m *Model) (modelJSON, error) {
 	mj := modelJSON{
 		Version:         modelVersion,
 		Experts:         m.Experts,
 		FeatureCfg:      m.FeatureCfg,
-		Objective:       m.Objective.Name(),
 		Clusters:        m.Clusters,
 		ExpertSets:      m.ExpertSets,
 		MeanReward:      m.MeanReward,
@@ -58,18 +66,14 @@ func WriteModel(w io.Writer, m *Model) error {
 		mj.Objective = "combined"
 		mj.CombinedK = obj.K
 	default:
-		return fmt.Errorf("core: objective %q is not serialisable", m.Objective.Name())
+		return modelJSON{}, fmt.Errorf("core: objective %q is not serialisable", m.Objective.Name())
 	}
-	enc := json.NewEncoder(w)
-	return enc.Encode(mj)
+	return mj, nil
 }
 
-// ReadModel restores a model written by WriteModel.
-func ReadModel(r io.Reader) (*Model, error) {
-	var mj modelJSON
-	if err := json.NewDecoder(r).Decode(&mj); err != nil {
-		return nil, fmt.Errorf("core: decoding model: %w", err)
-	}
+// modelFromJSON validates a decoded modelJSON and rebuilds the Model. Shared
+// by ReadModel and the checkpoint decoder.
+func modelFromJSON(mj modelJSON) (*Model, error) {
 	if mj.Version != modelVersion {
 		return nil, fmt.Errorf("core: model version %d, want %d", mj.Version, modelVersion)
 	}
@@ -115,4 +119,33 @@ func ReadModel(r io.Reader) (*Model, error) {
 		PredictorInputs: mj.PredictorInputs,
 		FeatureWindow:   mj.FeatureWindow,
 	}, nil
+}
+
+// WriteModel serialises a trained model: a persist frame (magic, format
+// version, length, CRC32) wrapping the JSON payload. Torn or bit-flipped
+// files fail ReadModel with a typed *persist.FormatError instead of decoding
+// into a half-valid model.
+func WriteModel(w io.Writer, m *Model) error {
+	mj, err := modelToJSON(m)
+	if err != nil {
+		return err
+	}
+	payload, err := json.Marshal(mj)
+	if err != nil {
+		return err
+	}
+	return persist.EncodeFrame(w, ModelMagic, ModelFormatVersion, payload)
+}
+
+// ReadModel restores a model written by WriteModel.
+func ReadModel(r io.Reader) (*Model, error) {
+	payload, err := persist.DecodeFrame(r, ModelMagic, ModelFormatVersion)
+	if err != nil {
+		return nil, fmt.Errorf("core: reading model: %w", err)
+	}
+	var mj modelJSON
+	if err := json.Unmarshal(payload, &mj); err != nil {
+		return nil, fmt.Errorf("core: decoding model: %w", err)
+	}
+	return modelFromJSON(mj)
 }

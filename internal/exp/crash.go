@@ -1,0 +1,279 @@
+package exp
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+
+	"darwin/internal/cache"
+	"darwin/internal/core"
+	"darwin/internal/diskcache"
+	"darwin/internal/persist"
+)
+
+// CrashConfig sizes the crash-recovery experiment: a darwin controller over a
+// journaled disk cache is killed mid-flood (no shutdown path runs — exactly a
+// SIGKILL's view of the world), restarted from checkpoint + journal, and
+// raced against a cold-started control on the remainder of the trace.
+type CrashConfig struct {
+	// Scale fixes corpus, cache sizes, and the online configuration.
+	Scale Scale
+	// Shards is the engine shard count.
+	Shards int
+	// CrashFrac is the fraction of the trace served before the crash.
+	CrashFrac float64
+	// Window is the OHR trajectory window in requests.
+	Window int
+	// CkptEvery is the checkpoint cadence in requests — the crash always
+	// loses the tail since the last checkpoint, as in production.
+	CkptEvery int
+	// Sync is the journal fsync policy during the flood.
+	Sync diskcache.SyncPolicy
+	// OutFile, when set, receives the per-window recovery trajectory as TSV
+	// (written atomically).
+	OutFile string
+}
+
+// DefaultCrashConfig returns the benchmark-scale crash schedule: crash at
+// half-trace, 2k-request windows, checkpoint every 5k requests.
+func DefaultCrashConfig() CrashConfig {
+	return CrashConfig{
+		Scale:     Small(),
+		Shards:    1,
+		CrashFrac: 0.5,
+		Window:    2_000,
+		CkptEvery: 5_000,
+		Sync:      diskcache.SyncBatch,
+	}
+}
+
+// crashArm is one post-crash contender.
+type crashArm struct {
+	name string
+	ctrl *core.Controller
+	last cache.Metrics
+	traj []float64 // windowed total OHR per window
+	hoc  []float64 // windowed HOC OHR per window
+}
+
+// CrashRecoveryReport runs the crash-recovery chaos experiment and tabulates
+// recovery time, recovered state, and how many requests each arm needs to
+// regain the pre-crash hit rate. The recovered arm should be back within
+// roughly a warm-up budget; the cold arm must re-earn the whole cache.
+func CrashRecoveryReport(cc CrashConfig) (*Report, error) {
+	if cc.Window <= 0 || cc.CrashFrac <= 0 || cc.CrashFrac >= 1 {
+		return nil, fmt.Errorf("exp: bad crash config %+v", cc)
+	}
+	c, err := CachedCorpus(cc.Scale, "ohr")
+	if err != nil {
+		return nil, err
+	}
+	tr := c.Test[0]
+	dir, err := os.MkdirTemp("", "darwin-crash-*")
+	if err != nil {
+		return nil, err
+	}
+	defer os.RemoveAll(dir)
+	ckptPath := filepath.Join(dir, "darwin.ckpt")
+
+	shards := cc.Shards
+	if shards < 1 {
+		shards = 1
+	}
+	store, err := diskcache.Open(diskcache.Config{Dir: dir, Sync: cc.Sync})
+	if err != nil {
+		return nil, err
+	}
+	eng, err := cache.NewSharded(cache.Config{
+		HOCBytes: cc.Scale.Eval.HOCBytes, DCBytes: cc.Scale.Eval.DCBytes, DCLog: store,
+	}, shards)
+	if err != nil {
+		return nil, err
+	}
+	ctrl, err := core.NewController(c.Model, eng, cc.Scale.Online)
+	if err != nil {
+		return nil, err
+	}
+
+	// Phase 1: flood until the crash point, checkpointing on cadence.
+	crashAt := int(float64(tr.Len()) * cc.CrashFrac)
+	saveCkpt := func() error {
+		es, err := eng.State()
+		if err != nil {
+			return err
+		}
+		return core.SaveCheckpoint(ckptPath, &core.Checkpoint{Engine: es, Controller: ctrl.CheckpointState()})
+	}
+	var preWindow cache.Metrics
+	for i := 0; i < crashAt; i++ {
+		ctrl.Serve(tr.Requests[i])
+		if cc.CkptEvery > 0 && (i+1)%cc.CkptEvery == 0 {
+			if err := saveCkpt(); err != nil {
+				return nil, err
+			}
+		}
+		if i == crashAt-cc.Window-1 {
+			preWindow = eng.Metrics()
+		}
+	}
+	pre := eng.Metrics().Sub(preWindow)
+	preOHR, preTotal := pre.OHR(), pre.TotalOHR()
+	lostSinceCkpt := crashAt
+	if cc.CkptEvery > 0 {
+		lostSinceCkpt = crashAt % cc.CkptEvery
+	}
+
+	// The crash: the store is abandoned — no Close, no final checkpoint, no
+	// pending-batch flush. Only what an fsync already made durable survives.
+	store = nil
+	eng = nil
+	ctrl = nil
+
+	// Phase 2a: recovery — reopen the journal, load the checkpoint, rebuild.
+	//lint:ignore determinism recovery wall time is a reported measurement, not replay state
+	recoverStart := time.Now()
+	store2, err := diskcache.Open(diskcache.Config{Dir: dir, Sync: cc.Sync})
+	if err != nil {
+		return nil, err
+	}
+	defer store2.Close()
+	ck, err := core.LoadCheckpoint(ckptPath)
+	if err != nil {
+		return nil, err
+	}
+	eng2, err := cache.NewSharded(cache.Config{
+		HOCBytes: cc.Scale.Eval.HOCBytes, DCBytes: cc.Scale.Eval.DCBytes, DCLog: store2,
+	}, shards)
+	if err != nil {
+		return nil, err
+	}
+	ctrl2, err := core.NewController(c.Model, eng2, cc.Scale.Online)
+	if err != nil {
+		return nil, err
+	}
+	if ck != nil {
+		if err := eng2.RestoreState(ck.Engine); err != nil {
+			return nil, fmt.Errorf("exp: engine restore: %w", err)
+		}
+		if err := ctrl2.RestoreState(ck.Controller); err != nil {
+			return nil, fmt.Errorf("exp: controller restore: %w", err)
+		}
+	}
+	live := store2.Live()
+	if err := eng2.RestoreDC(live); err != nil {
+		return nil, fmt.Errorf("exp: DC reconcile: %w", err)
+	}
+	//lint:ignore determinism recovery wall time is a reported measurement, not replay state
+	recoveryTime := time.Since(recoverStart)
+
+	// Phase 2b: cold control — same model, nothing restored.
+	eng3, err := cache.NewSharded(cache.Config{
+		HOCBytes: cc.Scale.Eval.HOCBytes, DCBytes: cc.Scale.Eval.DCBytes,
+	}, shards)
+	if err != nil {
+		return nil, err
+	}
+	ctrl3, err := core.NewController(c.Model, eng3, cc.Scale.Online)
+	if err != nil {
+		return nil, err
+	}
+
+	arms := []*crashArm{
+		{name: "recovered", ctrl: ctrl2, last: eng2.Metrics()},
+		{name: "cold-start", ctrl: ctrl3},
+	}
+	for i := crashAt; i < tr.Len(); i++ {
+		for _, a := range arms {
+			a.ctrl.Serve(tr.Requests[i])
+		}
+		if (i-crashAt+1)%cc.Window == 0 {
+			for _, a := range arms {
+				m := a.ctrl.Metrics()
+				d := m.Sub(a.last)
+				a.last = m
+				a.traj = append(a.traj, d.TotalOHR())
+				a.hoc = append(a.hoc, d.OHR())
+			}
+		}
+	}
+
+	rep := &Report{
+		Title: fmt.Sprintf("Crash recovery: SIGKILL mid-flood at request %d (crash loses %d journal-covered requests since last checkpoint)", crashAt, lostSinceCkpt),
+		Header: []string{"arm", "recovery-ms", "dc-objs-recovered", "reqs-to-95%-ohr",
+			"reqs-to-95%-tohr", "first-window-tohr", "final-window-tohr"},
+	}
+	st := store2.Stats()
+	for _, a := range arms {
+		recMS, objs := "-", "-"
+		if a.name == "recovered" {
+			recMS = fmt.Sprintf("%.1f", float64(recoveryTime.Microseconds())/1000)
+			objs = fmt.Sprint(len(live))
+		}
+		first, final := 0.0, 0.0
+		if len(a.traj) > 0 {
+			first, final = a.traj[0], a.traj[len(a.traj)-1]
+		}
+		rep.AddRow(a.name, recMS, objs,
+			windowsToRecover(a.hoc, preOHR, cc.Window),
+			windowsToRecover(a.traj, preTotal, cc.Window),
+			f4(first), f4(final))
+	}
+	rep.AddNote("pre-crash windowed OHR %.4f, total OHR %.4f (window=%d requests, warmup budget=%d)",
+		preOHR, preTotal, cc.Window, cc.Scale.Online.Warmup)
+	rep.AddNote("journal recovery: %d puts / %d deletes replayed, %d B truncated as torn; fsync policy %s",
+		st.RecoveredPuts, st.RecoveredDeletes, st.TruncatedBytes, cc.Sync)
+	if cc.OutFile != "" {
+		if err := writeTrajectory(cc.OutFile, cc.Window, crashAt, arms); err != nil {
+			return nil, err
+		}
+		rep.AddNote("trajectory written to %s", cc.OutFile)
+	}
+	return rep, nil
+}
+
+// windowsToRecover returns the request count until the trajectory first
+// reaches 95% of the pre-crash level, or "never" if it does not.
+func windowsToRecover(traj []float64, pre float64, window int) string {
+	if pre <= 0 {
+		return "0"
+	}
+	for w, v := range traj {
+		if v >= 0.95*pre {
+			return fmt.Sprint((w + 1) * window)
+		}
+	}
+	return "never"
+}
+
+// writeTrajectory emits the per-window recovery trajectories as TSV via an
+// atomic temp-then-rename write, so a crash mid-report never leaves a torn
+// figure input behind.
+func writeTrajectory(path string, window, crashAt int, arms []*crashArm) error {
+	buf := []byte("request")
+	for _, a := range arms {
+		buf = append(buf, '\t')
+		buf = append(buf, a.name...)
+		buf = append(buf, "_tohr"...)
+	}
+	buf = append(buf, '\n')
+	n := 0
+	for _, a := range arms {
+		if len(a.traj) > n {
+			n = len(a.traj)
+		}
+	}
+	for w := 0; w < n; w++ {
+		buf = append(buf, fmt.Sprintf("%d", crashAt+(w+1)*window)...)
+		for _, a := range arms {
+			buf = append(buf, '\t')
+			if w < len(a.traj) {
+				buf = append(buf, fmt.Sprintf("%.4f", a.traj[w])...)
+			} else {
+				buf = append(buf, '-')
+			}
+		}
+		buf = append(buf, '\n')
+	}
+	return persist.WriteFileAtomic(path, buf, 0o644)
+}

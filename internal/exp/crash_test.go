@@ -1,0 +1,81 @@
+package exp
+
+import (
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"testing"
+
+	"darwin/internal/diskcache"
+)
+
+func TestCrashRecoveryReport(t *testing.T) {
+	cc := DefaultCrashConfig()
+	cc.Sync = diskcache.SyncAlways // nothing in flight at the simulated kill
+	cc.OutFile = filepath.Join(t.TempDir(), "crash.tsv")
+	rep, err := CrashRecoveryReport(cc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Rows) != 2 {
+		t.Fatalf("rows = %d, want 2", len(rep.Rows))
+	}
+	recovered, cold := rep.Rows[0], rep.Rows[1]
+	if recovered[0] != "recovered" || cold[0] != "cold-start" {
+		t.Fatalf("arm order: %v / %v", recovered[0], cold[0])
+	}
+
+	const recMSCol, objsCol, firstCol = 1, 2, 5
+	ms, err := strconv.ParseFloat(recovered[recMSCol], 64)
+	if err != nil || ms < 0 {
+		t.Fatalf("recovery-ms = %q", recovered[recMSCol])
+	}
+	objs, err := strconv.Atoi(recovered[objsCol])
+	if err != nil || objs == 0 {
+		t.Fatalf("dc-objs-recovered = %q, want > 0", recovered[objsCol])
+	}
+	if cold[objsCol] != "-" {
+		t.Fatalf("cold arm recovered objects = %q, want -", cold[objsCol])
+	}
+
+	// The recovered arm starts with a full DC; the cold arm re-earns it. The
+	// first post-crash window must show the gap.
+	rf, err := strconv.ParseFloat(recovered[firstCol], 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cf, err := strconv.ParseFloat(cold[firstCol], 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rf <= cf {
+		t.Errorf("first-window total OHR: recovered %.4f <= cold %.4f", rf, cf)
+	}
+
+	out, err := os.ReadFile(cc.OutFile)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(string(out)), "\n")
+	if lines[0] != "request\trecovered_tohr\tcold-start_tohr" {
+		t.Fatalf("trajectory header = %q", lines[0])
+	}
+	if len(lines) < 2 {
+		t.Fatal("trajectory has no data rows")
+	}
+}
+
+func TestCrashRecoveryReportRejectsBadConfig(t *testing.T) {
+	for _, mod := range []func(*CrashConfig){
+		func(c *CrashConfig) { c.Window = 0 },
+		func(c *CrashConfig) { c.CrashFrac = 0 },
+		func(c *CrashConfig) { c.CrashFrac = 1.5 },
+	} {
+		cc := DefaultCrashConfig()
+		mod(&cc)
+		if _, err := CrashRecoveryReport(cc); err == nil {
+			t.Errorf("config %+v accepted, want error", cc)
+		}
+	}
+}

@@ -84,7 +84,9 @@ func DefaultConfig() Config {
 		},
 		ErrcheckPkgs: []string{
 			"darwin/internal/breaker",
+			"darwin/internal/diskcache",
 			"darwin/internal/exp",
+			"darwin/internal/persist",
 			"darwin/internal/server",
 		},
 		CtxFirstPkgs: []string{

@@ -428,6 +428,38 @@ func (n *Net) UnmarshalJSON(data []byte) error {
 	if len(restored.layers) != len(nj.Layers) {
 		return fmt.Errorf("neural: layer count mismatch %d vs %d", len(restored.layers), len(nj.Layers))
 	}
+	// Validate every layer's shape against the config-derived skeleton before
+	// applying anything: a truncated or hand-edited blob must fail loudly
+	// here, not as an index panic inside Forward.
+	for l, lj := range nj.Layers {
+		want := restored.layers[l]
+		if len(lj.W) != len(want.W) || len(lj.B) != len(want.B) {
+			return fmt.Errorf("neural: layer %d shape mismatch: %d×?/%d, want %d×?/%d",
+				l, len(lj.W), len(lj.B), len(want.W), len(want.B))
+		}
+		for o, row := range lj.W {
+			if len(row) != len(want.W[o]) {
+				return fmt.Errorf("neural: layer %d row %d has %d inputs, want %d",
+					l, o, len(row), len(want.W[o]))
+			}
+		}
+		if lj.Act != want.Act {
+			return fmt.Errorf("neural: layer %d activation %q does not match config-derived %q",
+				l, lj.Act, want.Act)
+		}
+		for _, row := range lj.W {
+			for _, v := range row {
+				if math.IsNaN(v) || math.IsInf(v, 0) {
+					return fmt.Errorf("neural: layer %d has non-finite weight", l)
+				}
+			}
+		}
+		for _, v := range lj.B {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				return fmt.Errorf("neural: layer %d has non-finite bias", l)
+			}
+		}
+	}
 	for l, lj := range nj.Layers {
 		restored.layers[l].W = lj.W
 		restored.layers[l].B = lj.B

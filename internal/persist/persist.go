@@ -1,0 +1,128 @@
+// Package persist provides the durability primitives shared by every
+// on-disk artifact the repository emits: a versioned, checksummed binary
+// frame for snapshot payloads, and atomic write-temp-then-rename file
+// replacement so a crash mid-write never leaves a truncated or torn file
+// behind.
+//
+// A frame is:
+//
+//	magic    [8]byte  — artifact identity ("DRWNMODL", "DRWNCKPT", ...)
+//	version  uint32LE — format version of the payload
+//	length   uint64LE — payload length in bytes
+//	crc32    uint32LE — IEEE CRC32 of the payload
+//	payload  [length]byte
+//
+// Decoding a frame whose magic, version, length, or checksum does not match
+// returns a *FormatError wrapping one of the sentinel errors below — never a
+// panic, and never a partially decoded payload.
+package persist
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+)
+
+// Sentinel decode failures, matchable with errors.Is.
+var (
+	// ErrBadMagic: the stream does not start with the expected magic bytes —
+	// wrong artifact kind, or garbage.
+	ErrBadMagic = errors.New("persist: bad magic")
+	// ErrVersion: the frame's format version is not the one the reader
+	// understands.
+	ErrVersion = errors.New("persist: unsupported format version")
+	// ErrTruncated: the stream ended before the declared payload was read.
+	ErrTruncated = errors.New("persist: truncated frame")
+	// ErrCorrupt: the payload checksum does not match, or the declared
+	// length is implausible.
+	ErrCorrupt = errors.New("persist: corrupt frame")
+)
+
+// FormatError describes a frame decode failure: which artifact was expected
+// and which sentinel condition fired.
+type FormatError struct {
+	// Magic is the expected artifact magic.
+	Magic string
+	// Detail is a human-readable elaboration ("version 7, want 2").
+	Detail string
+	// Err is one of the sentinel errors above.
+	Err error
+}
+
+// Error implements error.
+func (e *FormatError) Error() string {
+	if e.Detail == "" {
+		return fmt.Sprintf("%v (magic %q)", e.Err, e.Magic)
+	}
+	return fmt.Sprintf("%v (magic %q): %s", e.Err, e.Magic, e.Detail)
+}
+
+// Unwrap exposes the sentinel for errors.Is.
+func (e *FormatError) Unwrap() error { return e.Err }
+
+// MagicLen is the fixed magic length; Encode/Decode reject other lengths.
+const MagicLen = 8
+
+// headerLen is magic + version + length + crc32.
+const headerLen = MagicLen + 4 + 8 + 4
+
+// MaxPayload bounds the declared payload length a decoder will allocate for.
+// A corrupt length field must not be able to demand an absurd allocation.
+const MaxPayload = 1 << 31
+
+// EncodeFrame writes one frame: header then payload.
+func EncodeFrame(w io.Writer, magic string, version uint32, payload []byte) error {
+	if len(magic) != MagicLen {
+		return fmt.Errorf("persist: magic %q must be %d bytes", magic, MagicLen)
+	}
+	if int64(len(payload)) > MaxPayload {
+		return fmt.Errorf("persist: payload of %d bytes exceeds the %d-byte frame limit", len(payload), int64(MaxPayload))
+	}
+	var hdr [headerLen]byte
+	copy(hdr[:MagicLen], magic)
+	binary.LittleEndian.PutUint32(hdr[MagicLen:], version)
+	binary.LittleEndian.PutUint64(hdr[MagicLen+4:], uint64(len(payload)))
+	binary.LittleEndian.PutUint32(hdr[MagicLen+12:], crc32.ChecksumIEEE(payload))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return fmt.Errorf("persist: writing frame header: %w", err)
+	}
+	if _, err := w.Write(payload); err != nil {
+		return fmt.Errorf("persist: writing frame payload: %w", err)
+	}
+	return nil
+}
+
+// DecodeFrame reads one frame, verifying magic, version, length, and
+// checksum before returning the payload. All validation failures return a
+// *FormatError; the payload is returned only when fully verified.
+func DecodeFrame(r io.Reader, magic string, version uint32) ([]byte, error) {
+	if len(magic) != MagicLen {
+		return nil, fmt.Errorf("persist: magic %q must be %d bytes", magic, MagicLen)
+	}
+	var hdr [headerLen]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, &FormatError{Magic: magic, Detail: "short header", Err: ErrTruncated}
+	}
+	if string(hdr[:MagicLen]) != magic {
+		return nil, &FormatError{Magic: magic, Detail: fmt.Sprintf("got %q", hdr[:MagicLen]), Err: ErrBadMagic}
+	}
+	v := binary.LittleEndian.Uint32(hdr[MagicLen:])
+	if v != version {
+		return nil, &FormatError{Magic: magic, Detail: fmt.Sprintf("version %d, want %d", v, version), Err: ErrVersion}
+	}
+	length := binary.LittleEndian.Uint64(hdr[MagicLen+4:])
+	if length > MaxPayload {
+		return nil, &FormatError{Magic: magic, Detail: fmt.Sprintf("declared payload of %d bytes", length), Err: ErrCorrupt}
+	}
+	sum := binary.LittleEndian.Uint32(hdr[MagicLen+12:])
+	payload := make([]byte, length)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		return nil, &FormatError{Magic: magic, Detail: "short payload", Err: ErrTruncated}
+	}
+	if crc32.ChecksumIEEE(payload) != sum {
+		return nil, &FormatError{Magic: magic, Detail: "payload checksum mismatch", Err: ErrCorrupt}
+	}
+	return payload, nil
+}
