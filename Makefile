@@ -5,7 +5,7 @@
 
 GO ?= go
 
-.PHONY: tier1 vet build test lint race fuzz bench microbench chaos chaos-crash
+.PHONY: tier1 vet build test lint race fuzz bench microbench profile chaos chaos-crash
 
 tier1: build vet lint test
 
@@ -51,6 +51,11 @@ bench:
 
 microbench:
 	$(GO) test -bench . -run xxx -benchtime 0.5s ./internal/server
+
+# profile captures CPU and heap profiles of the proxy-throughput sections
+# (no JSON written); inspect with `go tool pprof cpu.pprof` / `heap.pprof`.
+profile:
+	$(GO) run ./cmd/bench -only proxy,matrix -cpuprofile cpu.pprof -memprofile heap.pprof -out -
 
 chaos:
 	$(GO) run ./cmd/experiments -only chaos

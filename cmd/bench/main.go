@@ -9,10 +9,16 @@
 // Results are written as machine-readable JSON so runs can be diffed across
 // commits; see the committed BENCH_*.json baselines.
 //
+// The proxy matrix section sweeps GOMAXPROCS × shards × concurrency so the
+// sharding claim is honest about its scaling axis: shards>1 only pays when
+// GOMAXPROCS>1, and the matrix records both sides rather than a single cherry-
+// picked point.
+//
 // Usage:
 //
 //	bench                      # writes BENCH_<today>.json
 //	bench -out results.json -parallelism 8
+//	bench -only proxy,matrix -cpuprofile cpu.pprof -out -
 package main
 
 import (
@@ -21,6 +27,8 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"runtime/pprof"
+	"strings"
 	"testing"
 	"time"
 
@@ -64,9 +72,16 @@ type Sweep struct {
 // run at fixed concurrency against a static-expert proxy whose cache engine
 // uses the given shard count (1 = the legacy global-lock data plane).
 type ProxyBench struct {
-	Name           string  `json:"name"`
-	Shards         int     `json:"shards"`
-	Concurrency    int     `json:"concurrency"`
+	Name string `json:"name"`
+	// GOMAXPROCS is the scheduler parallelism the arm ran under (matrix arms
+	// vary it; plain arms inherit the process default and omit the field).
+	GOMAXPROCS  int `json:"gomaxprocs,omitempty"`
+	Shards      int `json:"shards"`
+	Concurrency int `json:"concurrency"`
+	// Runs is the number of repetitions behind the reported numbers (the best
+	// run by throughput is kept: on a shared host, neighbor interference only
+	// subtracts, so the max estimates capability with the least bias).
+	Runs int `json:"runs,omitempty"`
 	Requests       int     `json:"requests"`
 	Errors         int     `json:"errors"`
 	ThroughputMbps float64 `json:"throughput_mbps"`
@@ -108,15 +123,38 @@ type Report struct {
 
 func main() {
 	var (
-		out         = flag.String("out", "", "output JSON path; empty selects BENCH_<date>.json")
+		out         = flag.String("out", "", "output JSON path; empty selects BENCH_<date>.json, \"-\" skips the JSON write")
 		parallelism = flag.Int("parallelism", runtime.NumCPU(), "worker count for the parallel side of sweep comparisons")
+		only        = flag.String("only", "", "comma-separated sections to run: micro,durability,sweeps,proxy,matrix,overload (empty = all)")
+		cpuProfile  = flag.String("cpuprofile", "", "write a CPU profile covering the selected sections to this path")
+		memProfile  = flag.String("memprofile", "", "write a heap profile taken after the selected sections to this path")
 	)
 	flag.Parse()
+
+	sections := map[string]bool{}
+	for _, s := range strings.Split(*only, ",") {
+		if s = strings.TrimSpace(s); s != "" {
+			sections[s] = true
+		}
+	}
+	want := func(name string) bool { return len(sections) == 0 || sections[name] }
 
 	date := time.Now().Format("2006-01-02")
 	path := *out
 	if path == "" {
 		path = "BENCH_" + date + ".json"
+	}
+
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fatal(err)
+		}
+		defer pprof.StopCPUProfile()
 	}
 
 	rep := Report{
@@ -134,81 +172,154 @@ func main() {
 		fatal(err)
 	}
 
-	fmt.Println("== micro benchmarks (single-threaded hot path) ==")
-	for _, name := range []string{"lru", "fifo", "lfu", "s4lru", "gdsf"} {
-		rep.Micro = append(rep.Micro, micro("hierarchy-serve/"+name, benchServe(tr, name)))
-	}
-	rep.Micro = append(rep.Micro,
-		micro("features-observe", benchObserve(tr)),
-		micro("tracker-exact", benchTracker(tr, cache.NewExactTracker())),
-		micro("tracker-approx", benchTracker(tr, cache.NewApproxTracker(1<<16))),
-		micro("bloom-test-and-add-u64", benchBloom(tr)),
-	)
-	for _, m := range rep.Micro {
-		fmt.Printf("  %-28s %10.1f ns/op  %4d allocs/op  %8.0f ops/s\n",
-			m.Name, m.NsPerOp, m.AllocsPerOp, m.OpsPerSec)
-	}
-
-	fmt.Println("\n== durability (DC journal append + crash recovery) ==")
-	dur, err := benchDurability()
-	if err != nil {
-		fatal(err)
-	}
-	rep.Durability = dur
-	for _, m := range dur.JournalPut {
-		fmt.Printf("  %-28s %10.1f ns/op  %4d allocs/op  %8.0f ops/s\n",
-			m.Name, m.NsPerOp, m.AllocsPerOp, m.OpsPerSec)
-	}
-	fmt.Printf("  %-28s %d records in %.3fs  (%.0f records/s)\n",
-		"journal-recovery", dur.RecoveryRecords, dur.RecoverySeconds, dur.RecoveryRecordsPerSec)
-
-	fmt.Printf("\n== sweeps (serial vs %d workers) ==\n", *parallelism)
-	sw, err := sweepEvaluateAll(tr, *parallelism)
-	if err != nil {
-		fatal(err)
-	}
-	rep.Sweeps = append(rep.Sweeps, sw)
-	sw, err = sweepFig2(*parallelism)
-	if err != nil {
-		fatal(err)
-	}
-	rep.Sweeps = append(rep.Sweeps, sw)
-	for _, s := range rep.Sweeps {
-		fmt.Printf("  %-20s %2d tasks  serial %6.2fs  parallel %6.2fs  speedup %.2fx  identical=%v\n",
-			s.Name, s.Tasks, s.SerialSeconds, s.ParallelSeconds, s.Speedup, s.OutputIdentical)
-		if !s.OutputIdentical {
-			fatal(fmt.Errorf("sweep %s: parallel output differs from serial", s.Name))
+	if want("micro") {
+		fmt.Println("== micro benchmarks (single-threaded hot path) ==")
+		for _, name := range []string{"lru", "fifo", "lfu", "s4lru", "gdsf"} {
+			rep.Micro = append(rep.Micro, micro("hierarchy-serve/"+name, benchServe(tr, name)))
+		}
+		rep.Micro = append(rep.Micro,
+			micro("features-observe", benchObserve(tr)),
+			micro("tracker-exact", benchTracker(tr, cache.NewExactTracker())),
+			micro("tracker-approx", benchTracker(tr, cache.NewApproxTracker(1<<16))),
+			micro("bloom-test-and-add-u64", benchBloom(tr)),
+		)
+		for _, m := range rep.Micro {
+			fmt.Printf("  %-28s %10.1f ns/op  %4d allocs/op  %8.0f ops/s\n",
+				m.Name, m.NsPerOp, m.AllocsPerOp, m.OpsPerSec)
 		}
 	}
 
-	fmt.Println("\n== proxy throughput (concurrency 64, global lock vs sharded) ==")
+	if want("durability") {
+		fmt.Println("\n== durability (DC journal append + crash recovery) ==")
+		dur, err := benchDurability()
+		if err != nil {
+			fatal(err)
+		}
+		rep.Durability = dur
+		for _, m := range dur.JournalPut {
+			fmt.Printf("  %-28s %10.1f ns/op  %4d allocs/op  %8.0f ops/s\n",
+				m.Name, m.NsPerOp, m.AllocsPerOp, m.OpsPerSec)
+		}
+		fmt.Printf("  %-28s %d records in %.3fs  (%.0f records/s)\n",
+			"journal-recovery", dur.RecoveryRecords, dur.RecoverySeconds, dur.RecoveryRecordsPerSec)
+	}
+
+	if want("sweeps") {
+		fmt.Printf("\n== sweeps (serial vs %d workers) ==\n", *parallelism)
+		sw, err := sweepEvaluateAll(tr, *parallelism)
+		if err != nil {
+			fatal(err)
+		}
+		rep.Sweeps = append(rep.Sweeps, sw)
+		sw, err = sweepFig2(*parallelism)
+		if err != nil {
+			fatal(err)
+		}
+		rep.Sweeps = append(rep.Sweeps, sw)
+		for _, s := range rep.Sweeps {
+			fmt.Printf("  %-20s %2d tasks  serial %6.2fs  parallel %6.2fs  speedup %.2fx  identical=%v\n",
+				s.Name, s.Tasks, s.SerialSeconds, s.ParallelSeconds, s.Speedup, s.OutputIdentical)
+			if !s.OutputIdentical {
+				fatal(fmt.Errorf("sweep %s: parallel output differs from serial", s.Name))
+			}
+		}
+	}
+
 	// The sharded arm uses NumCPU shards but never fewer than 4, so the
 	// lock-striping comparison stays meaningful on small containers.
 	shardArm := runtime.NumCPU()
 	if shardArm < 4 {
 		shardArm = 4
 	}
-	for _, shards := range []int{1, shardArm} {
-		pb, err := benchProxy(shards, 64)
-		if err != nil {
-			fatal(err)
-		}
-		rep.Proxy = append(rep.Proxy, pb)
-		fmt.Printf("  %-24s %8.1f Mbps  %8.0f req/s  p99 %6.2f ms  errors %d\n",
+	// The three throughput sections (proxy, matrix, overload) pool their arms
+	// into ONE bestOf call: repetitions are interleaved across every enabled
+	// arm, so each arm's proxyRuns samples span the combined sections' wall
+	// time (minutes) instead of that arm's own ~10 s slice. On a host whose
+	// background load oscillates on minute scales, that coverage is the
+	// difference between best-of-N finding an interference-free window and
+	// best-of-N re-sampling the same bad one.
+	printStd := func(pb ProxyBench) {
+		fmt.Printf("  %-36s %8.1f Mbps  %8.0f req/s  p99 %6.2f ms  errors %d\n",
 			pb.Name, pb.ThroughputMbps, pb.ReqPerSec, pb.P99Millis, pb.Errors)
 	}
-
-	fmt.Println("\n== overload layer overhead (healthy origin, deadline-carrying clients) ==")
-	for _, protected := range []bool{false, true} {
-		pb, err := benchOverloadProxy(shardArm, 64, protected)
+	printOverload := func(pb ProxyBench) {
+		fmt.Printf("  %-36s %8.1f Mbps  %8.0f req/s  p99 %6.2f ms  on-time %.4f  shed %d\n",
+			pb.Name, pb.ThroughputMbps, pb.ReqPerSec, pb.P99Millis, pb.OnTimeRate, pb.Shed)
+	}
+	type proxySection struct {
+		header string
+		print  func(ProxyBench)
+		arms   []func() (ProxyBench, error)
+	}
+	var tputSections []proxySection
+	if want("proxy") {
+		var arms []func() (ProxyBench, error)
+		for _, shards := range []int{1, shardArm} {
+			arms = append(arms, func() (ProxyBench, error) { return benchProxyOnce(shards, 64) })
+		}
+		tputSections = append(tputSections, proxySection{
+			header: "\n== proxy throughput (concurrency 64, global lock vs sharded) ==",
+			print:  printStd,
+			arms:   arms,
+		})
+	}
+	if want("matrix") {
+		tputSections = append(tputSections, proxySection{
+			header: "\n== proxy matrix (GOMAXPROCS × shards × concurrency) ==",
+			print:  printStd,
+			arms:   benchProxyMatrixArms(),
+		})
+	}
+	if want("overload") {
+		var arms []func() (ProxyBench, error)
+		for _, protected := range []bool{false, true} {
+			arms = append(arms, func() (ProxyBench, error) { return benchOverloadProxyOnce(shardArm, 64, protected) })
+		}
+		tputSections = append(tputSections, proxySection{
+			header: "\n== overload layer overhead (healthy origin, deadline-carrying clients) ==",
+			print:  printOverload,
+			arms:   arms,
+		})
+	}
+	if len(tputSections) > 0 {
+		var all []func() (ProxyBench, error)
+		for _, s := range tputSections {
+			all = append(all, s.arms...)
+		}
+		// Drop the sweep sections' heap before timing the proxy: a pending GC
+		// of simulation garbage shouldn't land in a throughput sample.
+		runtime.GC()
+		results, err := bestOf(all)
 		if err != nil {
 			fatal(err)
 		}
-		rep.Proxy = append(rep.Proxy, pb)
-		fmt.Printf("  %-24s %8.1f Mbps  %8.0f req/s  p99 %6.2f ms  on-time %.4f  shed %d\n",
-			pb.Name, pb.ThroughputMbps, pb.ReqPerSec, pb.P99Millis, pb.OnTimeRate, pb.Shed)
+		idx := 0
+		for _, s := range tputSections {
+			fmt.Println(s.header)
+			for range s.arms {
+				pb := results[idx]
+				idx++
+				rep.Proxy = append(rep.Proxy, pb)
+				s.print(pb)
+			}
+		}
 	}
 
+	if *memProfile != "" {
+		f, err := os.Create(*memProfile)
+		if err != nil {
+			fatal(err)
+		}
+		runtime.GC()
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			fatal(err)
+		}
+		f.Close()
+	}
+
+	if path == "-" {
+		return
+	}
 	data, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {
 		fatal(err)
@@ -435,12 +546,45 @@ func sweepFig2(parallelism int) (Sweep, error) {
 	}, nil
 }
 
-// benchProxy measures end-to-end proxy throughput for a static-expert
+// proxyRuns is the repetition count for proxy throughput arms; the best run
+// is reported (see ProxyBench.Runs).
+const proxyRuns = 5
+
+// bestOf runs every arm once per pass, proxyRuns passes total, and reports
+// each arm's best run by throughput. Interleaving the repetitions across
+// arms — rather than running one arm's repetitions back to back — matters on
+// a shared host whose background load oscillates over minutes: back-to-back
+// runs land in a single ~10 s noise window, while interleaved runs spread
+// one arm's samples across the whole section's wall time, so best-of-N can
+// find an interference-free window for every arm. Interference only ever
+// subtracts throughput, which is why the max (not the mean) is the
+// least-biased capability estimate.
+func bestOf(arms []func() (ProxyBench, error)) ([]ProxyBench, error) {
+	best := make([]ProxyBench, len(arms))
+	for pass := 0; pass < proxyRuns; pass++ {
+		for i, arm := range arms {
+			pb, err := arm()
+			if err != nil {
+				return nil, err
+			}
+			if pb.ThroughputMbps > best[i].ThroughputMbps {
+				best[i] = pb
+			}
+		}
+	}
+	for i := range best {
+		best[i].Runs = proxyRuns
+	}
+	return best, nil
+}
+
+// benchProxyOnce measures end-to-end proxy throughput for a static-expert
 // decider over a cache engine with the given shard count: shards=1 is the
 // legacy global-lock data plane (a single-shard engine serializes exactly
 // like the old proxy mutex), shards=N stripes the object space. Latencies
 // are zeroed so lock contention — not injected delay — bounds throughput.
-func benchProxy(shards, concurrency int) (ProxyBench, error) {
+// Every call builds a fresh proxy and cache; repetition is bestOf's job.
+func benchProxyOnce(shards, concurrency int) (ProxyBench, error) {
 	tr, err := exp.SyntheticMix(50, 30_000, 11)
 	if err != nil {
 		return ProxyBench{}, err
@@ -449,6 +593,12 @@ func benchProxy(shards, concurrency int) (ProxyBench, error) {
 		cache.EvalConfig{HOCBytes: 256 << 10, DCBytes: 32 << 20}, shards)
 	if err != nil {
 		return ProxyBench{}, err
+	}
+	// Batched publication, as cmd/darwin-proxy configures it: the bench
+	// measures the deployed fast path, not the publish-every-request debug
+	// setting.
+	if sh, ok := dec.Engine().(*cache.Sharded); ok {
+		sh.SetPublishEvery(32)
 	}
 	origin := &server.Origin{}
 	originSrv := httptest.NewServer(origin)
@@ -476,13 +626,51 @@ func benchProxy(shards, concurrency int) (ProxyBench, error) {
 	}, nil
 }
 
+// benchProxyMatrixArms builds the arms sweeping the axes the sharding claim
+// actually depends on: GOMAXPROCS (can handlers run in parallel at all?),
+// shard count (is the data plane striped?), and client concurrency (is there
+// contention to relieve?). On a single-core container the honest result is
+// that shards=1 wins at GOMAXPROCS=1 — shard routing is pure overhead
+// without scheduler parallelism — and the matrix records that rather than
+// hiding it. GOMAXPROCS values above NumCPU are deliberately not swept:
+// oversubscription measures the scheduler, not the cache. Each arm sets and
+// restores GOMAXPROCS itself, since bestOf interleaves it with arms from
+// other sections.
+func benchProxyMatrixArms() []func() (ProxyBench, error) {
+	gmps := []int{1}
+	if n := runtime.NumCPU(); n > 1 {
+		gmps = append(gmps, n)
+	}
+	var arms []func() (ProxyBench, error)
+	for _, gmp := range gmps {
+		for _, shards := range []int{1, 4} {
+			for _, conc := range []int{16, 64} {
+				arms = append(arms, func() (ProxyBench, error) {
+					prev := runtime.GOMAXPROCS(gmp)
+					defer runtime.GOMAXPROCS(prev)
+					pb, err := benchProxyOnce(shards, conc)
+					if err != nil {
+						return ProxyBench{}, err
+					}
+					pb.Name = fmt.Sprintf("proxy-matrix/gmp=%d/shards=%d/conc=%d", gmp, shards, conc)
+					pb.GOMAXPROCS = gmp
+					return pb, nil
+				})
+			}
+		}
+	}
+	return arms
+}
+
 // benchOverloadProxy measures the overload-protection layer's happy-path tax:
 // the same deadline-carrying closed-loop load against a healthy origin, with
 // the full stack (breaker accounting, admission, deadline propagation,
 // hedging arming) either off (retry-only, the PR 1 data plane) or on. With a
 // healthy origin the two should be within noise of each other — protection
-// must be ~free until faults make it earn its keep.
-func benchOverloadProxy(shards, concurrency int, protected bool) (ProxyBench, error) {
+// must be ~free until faults make it earn its keep. Repetition is bestOf's
+// job, so the tax comparison is best-vs-best instead of one noise sample
+// against another.
+func benchOverloadProxyOnce(shards, concurrency int, protected bool) (ProxyBench, error) {
 	tr, err := exp.SyntheticMix(50, 30_000, 11)
 	if err != nil {
 		return ProxyBench{}, err
@@ -491,6 +679,9 @@ func benchOverloadProxy(shards, concurrency int, protected bool) (ProxyBench, er
 		cache.EvalConfig{HOCBytes: 256 << 10, DCBytes: 32 << 20}, shards)
 	if err != nil {
 		return ProxyBench{}, err
+	}
+	if sh, ok := dec.Engine().(*cache.Sharded); ok {
+		sh.SetPublishEvery(32)
 	}
 	origin := &server.Origin{}
 	originSrv := httptest.NewServer(origin)

@@ -16,9 +16,9 @@ import (
 	"flag"
 	"fmt"
 	"net/http"
+	_ "net/http/pprof" // side-listener profiling endpoints, gated by -pprof
 	"os"
 	"os/signal"
-	"runtime"
 	"syscall"
 	"time"
 
@@ -41,7 +41,9 @@ func main() {
 		hoc       = flag.Int64("hoc", 2<<20, "HOC bytes")
 		dc        = flag.Int64("dc", 200<<20, "DC bytes")
 		objective = flag.String("objective", "ohr", "darwin objective: ohr | bmr | combined")
-		shards    = flag.Int("shards", runtime.NumCPU(), "cache engine shard count (1 = serial/global-lock data plane)")
+		shards    = flag.Int("shards", 0, "cache engine shard count (0 = auto from GOMAXPROCS, 1 = serial/global-lock data plane)")
+		pubEvery  = flag.Int("publish-every", 32, "requests per shard between metric-mirror publications (1 = publish every request)")
+		pprofAddr = flag.String("pprof", "", "pprof listen address (e.g. localhost:6060; empty = disabled)")
 		modelPath = flag.String("model", "", "pre-trained model file from darwin-train (skips startup training)")
 
 		dataDir    = flag.String("data-dir", "", "durable state directory: DC journal + learned-state checkpoints (empty = in-memory only)")
@@ -72,6 +74,9 @@ func main() {
 		brkProbes      = flag.Int64("brk-probes", 3, "circuit breaker half-open probe budget")
 	)
 	flag.Parse()
+	if *shards <= 0 {
+		*shards = cache.AutoShards()
+	}
 
 	var (
 		dec server.Decider
@@ -150,6 +155,11 @@ func main() {
 	if dur != nil {
 		dur.attach(shEng, ctrl, model)
 	}
+	// Batched counter publication: shards accumulate metric deltas locally and
+	// publish the whole consistent block every K requests, keeping the seqlock
+	// fences off the per-request path. Round-boundary and /metrics reads go
+	// through SyncMetrics, so learning and reporting still see exact counts.
+	shEng.SetPublishEvery(*pubEvery)
 
 	res := server.Resilience{
 		Enabled:      *resilient,
@@ -208,6 +218,17 @@ func main() {
 				boolToInt(dur.recovered.Load()), ds.LiveObjects, ds.LiveBytes, ds.LogBytes, ds.Segments, ds.Syncs, ds.Compactions, ds.DroppedOps, ds.RecoveredPuts)
 		}
 	})
+	if *pprofAddr != "" {
+		// Profiling runs on its own listener so /debug/pprof is never exposed
+		// on the serving address. net/http/pprof registers its handlers on
+		// http.DefaultServeMux.
+		go func() {
+			fmt.Fprintf(os.Stderr, "darwin-proxy: pprof on http://%s/debug/pprof/\n", *pprofAddr)
+			if err := http.ListenAndServe(*pprofAddr, nil); err != nil {
+				fmt.Fprintln(os.Stderr, "darwin-proxy: pprof listener:", err)
+			}
+		}()
+	}
 	// Timeouts close slowloris-style connections that trickle headers or
 	// hold sockets idle; graceful shutdown drains in-flight requests.
 	srv := &http.Server{

@@ -110,6 +110,11 @@ type ShardedCache = cache.Sharded
 // across shards (shards <= 0 selects 1).
 var NewShardedCache = cache.NewSharded
 
+// AutoShards picks a shard count for this process: 1 (serial, no routing or
+// striping overhead) when GOMAXPROCS is 1, otherwise GOMAXPROCS rounded up
+// to a power of two so shard routing is a mask.
+var AutoShards = cache.AutoShards
+
 // EvalConfig configures single-expert trace evaluations.
 type EvalConfig = cache.EvalConfig
 

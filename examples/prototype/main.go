@@ -12,15 +12,17 @@ import (
 	"fmt"
 	"log"
 	"net/http/httptest"
-	"runtime"
 	"time"
 
 	"darwin"
 )
 
 func main() {
-	shards := flag.Int("shards", runtime.NumCPU(), "cache engine shard count (1 = serial/global-lock)")
+	shards := flag.Int("shards", 0, "cache engine shard count (0 = auto, 1 = serial/global-lock)")
 	flag.Parse()
+	if *shards <= 0 {
+		*shards = darwin.AutoShards()
+	}
 	experts := darwin.ExpertGrid(
 		[]int{1, 2, 3, 5},
 		[]int64{2 << 10, 10 << 10, 50 << 10, 200 << 10},

@@ -109,6 +109,15 @@ func (s *Static) Serve(r trace.Request) cache.Result { return s.eng.Serve(r) }
 // Lookup probes residency without mutating cache state (server.Lookuper).
 func (s *Static) Lookup(id uint64) cache.Result { return s.eng.Lookup(id) }
 
+// SyncMetrics forces publication of any batched shard counters so a
+// following Metrics read is exact, not trailing by up to a publication batch.
+// No-op for engines without deferred publication.
+func (s *Static) SyncMetrics() {
+	if e, ok := s.eng.(interface{ SyncMetrics() }); ok {
+		e.SyncMetrics()
+	}
+}
+
 // Metrics implements Server.
 func (s *Static) Metrics() cache.Metrics { return s.eng.Metrics() }
 

@@ -2,6 +2,7 @@ package cache
 
 import (
 	"fmt"
+	"runtime"
 	"sync"
 
 	"darwin/internal/stripe"
@@ -47,6 +48,10 @@ const (
 // and never observes a single request's counters torn across fields.
 type Sharded struct {
 	shards []engineShard
+	// mask is len(shards)-1 when the shard count is a power of two, enabling
+	// single-AND routing; 0 selects the modulo fallback (or shard 0 when
+	// there is only one shard). Immutable after construction.
+	mask uint64
 }
 
 // engineShard pairs one serial hierarchy with its mutex and its lock-free
@@ -60,7 +65,14 @@ type engineShard struct {
 	// mirror publishes h's counters for lock-free snapshots; written only
 	// inside Begin/End sections while mu is held, read without any lock.
 	mirror *stripe.Cell
-	_      [24]byte
+	// publishEvery is the counter-publication batch: the mirror is pushed
+	// after this many serves instead of on every request, amortizing the
+	// seqlock write fences. 1 = publish per request (exact mirrors, the
+	// bit-identical replay mode); guarded by mu.
+	publishEvery int
+	// pending counts serves since the last mirror publication; guarded by mu.
+	pending int
+	_       [24]byte
 }
 
 // NewSharded builds a sharded engine from cfg, splitting the HOC and DC
@@ -87,25 +99,86 @@ func NewSharded(cfg Config, shards int) (*Sharded, error) {
 	}
 	per.BloomObjects = (nb + shards - 1) / shards
 	s := &Sharded{shards: make([]engineShard, shards)}
+	if shards > 1 && shards&(shards-1) == 0 {
+		s.mask = uint64(shards - 1)
+	}
 	for i := range s.shards {
 		h, err := New(per)
 		if err != nil {
 			return nil, err
 		}
-		s.shards[i] = engineShard{h: h, mirror: stripe.NewCell(mcWidth)}
+		s.shards[i] = engineShard{h: h, mirror: stripe.NewCell(mcWidth), publishEvery: 1}
 	}
 	return s, nil
+}
+
+// AutoShards picks a shard count for the current process when the operator
+// does not: 1 under GOMAXPROCS == 1 — the serial engine, since sharding
+// there only adds routing and extra-mutex overhead (the 1-CPU regression
+// measured in BENCH_2026-08-05) — otherwise GOMAXPROCS rounded up to the
+// next power of two so shard routing is a single AND.
+func AutoShards() int {
+	n := runtime.GOMAXPROCS(0)
+	if n <= 1 {
+		return 1
+	}
+	p := 1
+	for p < n {
+		p <<= 1
+	}
+	return p
 }
 
 // Shards returns the shard count (for report headers and capacity math).
 func (s *Sharded) Shards() int { return len(s.shards) }
 
+// SetPublishEvery sets the counter-publication batch size: each shard
+// pushes its seqlock metrics mirror after k serves instead of after every
+// request, amortizing the publication write fences across the batch. k <= 1
+// restores per-request publication (exact mirrors). Any pending deltas are
+// published immediately, and lock-free Metrics reads stay coherent — they
+// just trail the data plane by at most k-1 requests per shard until the
+// next publication or SyncMetrics call.
+func (s *Sharded) SetPublishEvery(k int) {
+	if k < 1 {
+		k = 1
+	}
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.Lock()
+		sh.publishEvery = k
+		sh.publishLocked()
+		sh.mu.Unlock()
+	}
+}
+
+// SyncMetrics publishes every shard's pending batched counters into the
+// seqlock mirrors, so the next Metrics aggregate reflects every request
+// served before this call. The online controller invokes it at round
+// boundaries (reward computation needs exact counters); monitoring readers
+// don't need it — their lock-free snapshots are coherent, merely trailing
+// by less than one publication batch.
+func (s *Sharded) SyncMetrics() {
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.Lock()
+		if sh.pending > 0 {
+			sh.publishLocked()
+		}
+		sh.mu.Unlock()
+	}
+}
+
 // Concurrent marks Sharded safe for concurrent callers (ConcurrentEngine).
 func (s *Sharded) Concurrent() bool { return true }
 
 // route maps an object id to its owning shard index. It is on the request
-// hot path: pure integer mixing, no allocation, no locks.
+// hot path: pure integer mixing, no allocation, no locks — and a single
+// mask when the shard count is a power of two (the AutoShards default).
 func (s *Sharded) route(id uint64) int {
+	if s.mask != 0 {
+		return int(stripe.Mix64(id) & s.mask)
+	}
 	n := len(s.shards)
 	if n == 1 {
 		return 0
@@ -114,12 +187,15 @@ func (s *Sharded) route(id uint64) int {
 }
 
 // Serve processes one request on the owning shard and publishes the shard's
-// updated counters for lock-free aggregation.
+// updated counters for lock-free aggregation — immediately when
+// publishEvery is 1, else once per batch.
 func (s *Sharded) Serve(r trace.Request) Result {
 	sh := &s.shards[s.route(r.ID)]
 	sh.mu.Lock()
 	res := sh.h.Serve(r)
-	sh.publishLocked()
+	if sh.pending++; sh.pending >= sh.publishEvery {
+		sh.publishLocked()
+	}
 	sh.mu.Unlock()
 	return res
 }
@@ -134,23 +210,28 @@ func (s *Sharded) Lookup(id uint64) Result {
 }
 
 // publishLocked mirrors the shard hierarchy's counters into the seqlock
-// cell. The caller holds the shard mutex, making it the cell's sole writer.
+// cell as one bulk write section and clears the pending-batch counter. The
+// caller holds the shard mutex, making it the cell's sole writer. The whole
+// Metrics block is always published together, so every lock-free snapshot —
+// batched or not — satisfies the cross-counter invariants
+// (hits+misses == requests) at any instant.
 func (sh *engineShard) publishLocked() {
 	m := sh.h.m
-	sh.mirror.Begin()
-	sh.mirror.Set(mcRequests, m.Requests)
-	sh.mirror.Set(mcBytes, m.Bytes)
-	sh.mirror.Set(mcHOCHits, m.HOCHits)
-	sh.mirror.Set(mcHOCHitBytes, m.HOCHitBytes)
-	sh.mirror.Set(mcDCHits, m.DCHits)
-	sh.mirror.Set(mcDCHitBytes, m.DCHitBytes)
-	sh.mirror.Set(mcMisses, m.Misses)
-	sh.mirror.Set(mcMissBytes, m.MissBytes)
-	sh.mirror.Set(mcDCWrites, m.DCWrites)
-	sh.mirror.Set(mcDCWriteBytes, m.DCWriteBytes)
-	sh.mirror.Set(mcHOCAdmits, m.HOCAdmits)
-	sh.mirror.Set(mcExpertSwitches, sh.h.expertSwitches)
-	sh.mirror.End()
+	var v [mcWidth]int64
+	v[mcRequests] = m.Requests
+	v[mcBytes] = m.Bytes
+	v[mcHOCHits] = m.HOCHits
+	v[mcHOCHitBytes] = m.HOCHitBytes
+	v[mcDCHits] = m.DCHits
+	v[mcDCHitBytes] = m.DCHitBytes
+	v[mcMisses] = m.Misses
+	v[mcMissBytes] = m.MissBytes
+	v[mcDCWrites] = m.DCWrites
+	v[mcDCWriteBytes] = m.DCWriteBytes
+	v[mcHOCAdmits] = m.HOCAdmits
+	v[mcExpertSwitches] = sh.h.expertSwitches
+	sh.mirror.Store(v[:])
+	sh.pending = 0
 }
 
 // metricsFromCounters rebuilds a Metrics struct from mirror-cell order.

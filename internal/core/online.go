@@ -228,8 +228,19 @@ func (c *Controller) Concurrent() bool {
 // Name implements the baselines.Server naming convention.
 func (c *Controller) Name() string { return "darwin" }
 
+// syncedMetrics returns the engine's metrics, first forcing publication of
+// any batched counters (engines with deferred seqlock publication, e.g. a
+// Sharded with publishEvery > 1, expose SyncMetrics). Round boundaries and
+// external reads need exact counts, not counts trailing by up to a batch.
+func (c *Controller) syncedMetrics() cache.Metrics {
+	if s, ok := c.eng.(interface{ SyncMetrics() }); ok {
+		s.SyncMetrics()
+	}
+	return c.eng.Metrics()
+}
+
 // Metrics returns the engine's accumulated metrics.
-func (c *Controller) Metrics() cache.Metrics { return c.eng.Metrics() }
+func (c *Controller) Metrics() cache.Metrics { return c.syncedMetrics() }
 
 // ResetMetrics clears the engine's counters (warm-up exclusion).
 func (c *Controller) ResetMetrics() { c.eng.ResetMetrics() }
@@ -320,7 +331,7 @@ func (c *Controller) finishWarmupLocked() {
 	c.alg = alg
 	c.curArm = alg.NextArm()
 	c.eng.SetExpert(c.model.Experts[c.set[c.curArm]])
-	c.roundStart = c.eng.Metrics()
+	c.roundStart = c.syncedMetrics()
 	c.roundReqs = 0
 	c.phase = PhaseIdentify
 }
@@ -383,7 +394,7 @@ func buildSigma(model *Model, cfg OnlineConfig, set []int, clusterID int, extend
 // generates fictitious samples for the other arms, and advances or stops the
 // bandit.
 func (c *Controller) finishRoundLocked() {
-	delta := c.eng.Metrics().Sub(c.roundStart)
+	delta := c.syncedMetrics().Sub(c.roundStart)
 	obsOHR := delta.OHR()
 	obsReward := c.model.Objective.Reward(delta)
 	n := len(c.set)
@@ -413,7 +424,7 @@ func (c *Controller) finishRoundLocked() {
 	}
 	c.curArm = c.alg.NextArm()
 	c.eng.SetExpert(c.model.Experts[c.set[c.curArm]])
-	c.roundStart = c.eng.Metrics()
+	c.roundStart = c.syncedMetrics()
 	c.roundReqs = 0
 }
 

@@ -81,6 +81,8 @@ func DefaultConfig() Config {
 			"darwin/internal/cache.Hierarchy.Serve",
 			"darwin/internal/cache.Sharded.Serve",
 			"darwin/internal/cache.Eviction.Hit",
+			"darwin/internal/server.Proxy.serveLocal",
+			"darwin/internal/server.writeBody",
 		},
 		ErrcheckPkgs: []string{
 			"darwin/internal/breaker",

@@ -1,0 +1,164 @@
+package server
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"sync"
+	"testing"
+
+	"darwin/internal/baselines"
+	"darwin/internal/cache"
+)
+
+// nullRW is a ResponseWriter with a pre-allocated header map and a discarding
+// body writer, so allocation measurements see only the proxy's own work — not
+// net/http's connection machinery or the recorder's body buffer.
+type nullRW struct {
+	h http.Header
+	n int64
+}
+
+func (w *nullRW) Header() http.Header { return w.h }
+
+func (w *nullRW) Write(p []byte) (int, error) {
+	w.n += int64(len(p))
+	return len(p), nil
+}
+
+func (w *nullRW) WriteHeader(int) {}
+
+// hitProxy builds a proxy over a sharded static decider with batched counter
+// publication (the deployed configuration), warms object 1 into the HOC
+// (miss → dc-hit → hoc-hit takes three serves), and returns it.
+func hitProxy(t testing.TB, resilient bool) *Proxy {
+	t.Helper()
+	dec, err := baselines.NewStaticSharded(cache.Expert{Freq: 1, MaxSize: 1 << 20},
+		cache.EvalConfig{HOCBytes: 256 << 10, DCBytes: 32 << 20}, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dec.Engine().(*cache.Sharded).SetPublishEvery(32)
+	origin := httptest.NewServer(&Origin{})
+	t.Cleanup(origin.Close)
+	res := Resilience{}
+	if resilient {
+		res = DefaultResilience()
+	}
+	proxy := NewResilientProxy(dec, origin.URL, 0, res)
+	for i := 0; i < 3; i++ {
+		w := httptest.NewRecorder()
+		proxy.ServeHTTP(w, httptest.NewRequest("GET", "/obj/1?size=4096", nil))
+		if w.Code != http.StatusOK {
+			t.Fatalf("warm serve %d: status %d", i, w.Code)
+		}
+	}
+	return proxy
+}
+
+// TestServeHitZeroAllocs is the committed form of the PR's headline claim:
+// the serve-hit path — URL parse, decider call (including batched counter
+// publication), pre-serialized headers, static-chunk body — performs zero
+// heap allocations per request above net/http, on both the legacy and the
+// resilient data planes.
+func TestServeHitZeroAllocs(t *testing.T) {
+	for _, tc := range []struct {
+		name      string
+		resilient bool
+	}{
+		{"legacy", false},
+		{"resilient", true},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			proxy := hitProxy(t, tc.resilient)
+			w := &nullRW{h: make(http.Header, 4)}
+			req := httptest.NewRequest("GET", "/obj/1?size=4096", nil)
+			allocs := testing.AllocsPerRun(1000, func() {
+				w.n = 0
+				proxy.ServeHTTP(w, req)
+				if w.n != 4096 {
+					t.Fatalf("body: %d bytes, want 4096", w.n)
+				}
+			})
+			if allocs != 0 {
+				t.Errorf("serve-hit path: %.1f allocs/op, want 0", allocs)
+			}
+			if got := w.h.Get("X-Cache"); got != "hoc-hit" {
+				t.Fatalf("X-Cache = %q, want hoc-hit", got)
+			}
+			if got := w.h.Get("Content-Length"); got != "4096" {
+				t.Fatalf("Content-Length = %q, want 4096", got)
+			}
+		})
+	}
+}
+
+// BenchmarkProxyServeHitDirect times the serve-hit path without the HTTP
+// transport (direct handler call on a discarding ResponseWriter); ReportAllocs
+// keeps the 0 allocs/op claim visible in `make microbench` output.
+func BenchmarkProxyServeHitDirect(b *testing.B) {
+	proxy := hitProxy(b, true)
+	w := &nullRW{h: make(http.Header, 4)}
+	req := httptest.NewRequest("GET", "/obj/1?size=4096", nil)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		proxy.ServeHTTP(w, req)
+	}
+}
+
+// TestCopyBufPoolStress drives the pooled-buffer and pooled-URL-builder seams
+// from concurrent goroutines (run under -race by `make race`): buffers come
+// back full-size, writes to a borrowed buffer never race, and originURL built
+// from recycled builders is always exactly the fmt.Sprintf string it replaced.
+func TestCopyBufPoolStress(t *testing.T) {
+	const workers, iters = 8, 2000
+	var wg sync.WaitGroup
+	for g := 0; g < workers; g++ {
+		wg.Add(1)
+		go func(seed int) {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				b := getCopyBuf()
+				if len(*b) != copyBufSize {
+					t.Errorf("pooled buffer len %d, want %d", len(*b), copyBufSize)
+				}
+				(*b)[0] = byte(i)
+				(*b)[copyBufSize-1] = byte(seed)
+				id := uint64(seed)*1_000_003 + uint64(i)
+				size := int64(i%100_000 + 1)
+				got := originURL("http://origin:9000", id, size)
+				want := "http://origin:9000/obj/" + strconv.FormatUint(id, 10) +
+					"?size=" + strconv.FormatInt(size, 10)
+				if got != want {
+					t.Errorf("originURL = %q, want %q", got, want)
+				}
+				putCopyBuf(b)
+			}
+		}(g)
+	}
+	wg.Wait()
+}
+
+// TestContentLengthValueConcurrent hammers the lock-free Content-Length cache
+// with colliding sizes from many goroutines: whatever entry a slot holds, the
+// returned value must always serialize the requested size.
+func TestContentLengthValueConcurrent(t *testing.T) {
+	const workers, iters = 8, 5000
+	var wg sync.WaitGroup
+	for g := 0; g < workers; g++ {
+		wg.Add(1)
+		go func(seed int) {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				// A small size set forces both cache hits and slot collisions.
+				size := int64((seed*31+i)%17 + 1)
+				v := contentLengthValue(size)
+				if len(v) != 1 || v[0] != strconv.FormatInt(size, 10) {
+					t.Errorf("contentLengthValue(%d) = %v", size, v)
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+}

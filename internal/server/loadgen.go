@@ -8,6 +8,7 @@ import (
 	"math/rand"
 	"net"
 	"net/http"
+	"net/url"
 	"sort"
 	"strconv"
 	"sync"
@@ -191,37 +192,75 @@ func RunLoad(ctx context.Context, tr *trace.Trace, cfg LoadConfig) (LoadResult, 
 	if timeout <= 0 {
 		timeout = 60 * time.Second
 	}
+	base, err := url.Parse(cfg.ProxyURL)
+	if err != nil {
+		return LoadResult{}, fmt.Errorf("server: bad proxy URL: %w", err)
+	}
 	transport := &http.Transport{
 		MaxIdleConns:        cfg.Concurrency * 2,
 		MaxIdleConnsPerHost: cfg.Concurrency * 2,
+		// Neither the proxy nor the origin compresses; advertising gzip would
+		// only add a request header and a decompression check per response.
+		DisableCompression: true,
 	}
 	client := &http.Client{Transport: transport, Timeout: timeout}
 	defer transport.CloseIdleConnections()
 
-	work := make(chan trace.Request)
+	// Pre-render every request's URL strings before the clock starts: the
+	// load generator is the measuring instrument, not the system under test,
+	// so request formatting (and its allocations) stays out of the measured
+	// loop — the same discipline benchServe applies to trace generation.
+	type urlParts struct{ path, query string }
+	parts := make([]urlParts, tr.Len())
+	{
+		var pathBuf, queryBuf []byte
+		for i, r := range tr.Requests {
+			pathBuf = append(append(pathBuf[:0], base.Path...), "/obj/"...)
+			pathBuf = strconv.AppendUint(pathBuf, r.ID, 10)
+			queryBuf = append(queryBuf[:0], "size="...)
+			queryBuf = strconv.AppendInt(queryBuf, r.Size, 10)
+			parts[i] = urlParts{path: string(pathBuf), query: string(queryBuf)}
+		}
+	}
+
+	work := make(chan int)
 	var (
 		mu  sync.Mutex
 		res LoadResult
 		wg  sync.WaitGroup
 	)
+	res.FirstByte = make([]time.Duration, 0, tr.Len())
 	worker := func() {
 		defer wg.Done()
-		buf := make([]byte, 32<<10)
-		for r := range work {
+		// The body read buffer is borrowed from the process-wide pool for
+		// the worker's lifetime — one buffer per worker, zero per request.
+		bufp := getCopyBuf()
+		defer putCopyBuf(bufp)
+		buf := *bufp
+		// One request object per worker, rebuilt in place: the URL struct is
+		// pre-parsed once and only its Path/RawQuery strings swap per
+		// request, so no url.Parse, header map, or Request allocation sits
+		// in the measurement loop.
+		u := *base
+		hdr := make(http.Header, 1)
+		if cfg.Deadline > 0 {
+			hdr.Set(DeadlineHeader, strconv.FormatInt(cfg.Deadline.Milliseconds(), 10))
+		}
+		hreq := &http.Request{
+			Method:     http.MethodGet,
+			URL:        &u,
+			Proto:      "HTTP/1.1",
+			ProtoMajor: 1,
+			ProtoMinor: 1,
+			Header:     hdr,
+			Host:       base.Host,
+		}
+		for i := range work {
 			if cfg.ClientLatency > 0 {
 				time.Sleep(cfg.ClientLatency)
 			}
-			url := fmt.Sprintf("%s/obj/%d?size=%d", cfg.ProxyURL, r.ID, r.Size)
-			hreq, err := http.NewRequest(http.MethodGet, url, nil)
-			if err != nil {
-				mu.Lock()
-				classify(&res, err)
-				mu.Unlock()
-				continue
-			}
-			if cfg.Deadline > 0 {
-				hreq.Header.Set(DeadlineHeader, strconv.FormatInt(cfg.Deadline.Milliseconds(), 10))
-			}
+			u.Path = parts[i].path
+			u.RawQuery = parts[i].query
 			start := time.Now()
 			resp, err := client.Do(hreq)
 			if err != nil {
@@ -239,7 +278,12 @@ func RunLoad(ctx context.Context, tr *trace.Trace, cfg LoadConfig) (LoadResult, 
 				m, rerr = resp.Body.Read(buf)
 				n += int64(m)
 			}
-			total := time.Since(start)
+			// Completion time is only read against a configured deadline;
+			// skip the clock otherwise.
+			onTime := true
+			if cfg.Deadline > 0 {
+				onTime = time.Since(start) <= cfg.Deadline
+			}
 			_ = resp.Body.Close() // body fully drained above; close can't fail usefully
 			mu.Lock()
 			switch {
@@ -255,7 +299,7 @@ func RunLoad(ctx context.Context, tr *trace.Trace, cfg LoadConfig) (LoadResult, 
 				res.Requests++
 				res.Bytes += n
 				res.FirstByte = append(res.FirstByte, fb)
-				if cfg.Deadline <= 0 || total <= cfg.Deadline {
+				if onTime {
 					res.OnTime++
 				}
 				switch resp.Header.Get("X-Cache") {
@@ -282,19 +326,28 @@ func RunLoad(ctx context.Context, tr *trace.Trace, cfg LoadConfig) (LoadResult, 
 		gaps = cfg.Burst.Gaps(tr.Len())
 	}
 	var dispatchErr error
-dispatch:
-	for i, r := range tr.Requests {
-		if gaps != nil && gaps[i] > 0 {
-			if err := sleepCtx(ctx, gaps[i]); err != nil {
-				dispatchErr = err
+	if done := ctx.Done(); done == nil && gaps == nil {
+		// Uncancellable unpaced dispatch (the benchmark path): a plain send
+		// per request instead of a two-case select keeps the dispatcher's
+		// scheduler cost off the measured loop.
+		for i := range tr.Requests {
+			work <- i
+		}
+	} else {
+	dispatch:
+		for i := range tr.Requests {
+			if gaps != nil && gaps[i] > 0 {
+				if err := sleepCtx(ctx, gaps[i]); err != nil {
+					dispatchErr = err
+					break dispatch
+				}
+			}
+			select {
+			case work <- i:
+			case <-ctx.Done():
+				dispatchErr = ctx.Err()
 				break dispatch
 			}
-		}
-		select {
-		case work <- r:
-		case <-ctx.Done():
-			dispatchErr = ctx.Err()
-			break dispatch
 		}
 	}
 	close(work)

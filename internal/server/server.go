@@ -35,7 +35,9 @@ import (
 	"io"
 	"math/rand"
 	"net/http"
+	"net/url"
 	"strconv"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -45,30 +47,6 @@ import (
 	"darwin/internal/stripe"
 	"darwin/internal/trace"
 )
-
-// pattern is the repeated content block served for every object.
-var pattern = func() []byte {
-	b := make([]byte, 64<<10)
-	for i := range b {
-		b[i] = byte('a' + i%26)
-	}
-	return b
-}()
-
-// writeBody writes size bytes of deterministic content to w.
-func writeBody(w io.Writer, size int64) error {
-	for size > 0 {
-		n := int64(len(pattern))
-		if size < n {
-			n = size
-		}
-		if _, err := w.Write(pattern[:n]); err != nil {
-			return err
-		}
-		size -= n
-	}
-	return nil
-}
 
 // Origin is the content provider's origin server: it serves any object of
 // any requested size after an injected WAN delay.
@@ -95,9 +73,13 @@ func (o *Origin) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, err.Error(), http.StatusBadRequest)
 		return
 	}
-	time.Sleep(o.Latency)
+	if o.Latency > 0 {
+		time.Sleep(o.Latency)
+	}
 	o.account(size)
-	w.Header().Set("Content-Length", strconv.FormatInt(size, 10))
+	h := w.Header()
+	setContentType(h)
+	setContentLength(h, size)
 	w.WriteHeader(http.StatusOK)
 	_ = writeBody(w, size) // client went away; nothing useful to do with the error
 }
@@ -107,7 +89,10 @@ func (o *Origin) Stats() (requests, bytes int64) {
 	return o.requests.Load(), o.bytes.Load()
 }
 
-// parseObjectURL extracts (id, size) from /obj/<id>?size=<n>.
+// parseObjectURL extracts (id, size) from /obj/<id>?size=<n>. It is the
+// first step of every request, so the query parameter is scanned in place:
+// r.URL.Query() materializes a url.Values map (two allocations plus the
+// string copies) per call, where the common "size=<digits>" form needs none.
 func parseObjectURL(r *http.Request) (uint64, int64, error) {
 	const prefix = "/obj/"
 	path := r.URL.Path
@@ -118,11 +103,41 @@ func parseObjectURL(r *http.Request) (uint64, int64, error) {
 	if err != nil {
 		return 0, 0, fmt.Errorf("server: bad object id: %v", err)
 	}
-	size, err := strconv.ParseInt(r.URL.Query().Get("size"), 10, 64)
+	raw := sizeParam(r.URL.RawQuery)
+	size, err := strconv.ParseInt(raw, 10, 64)
 	if err != nil || size < 0 {
-		return 0, 0, fmt.Errorf("server: bad size %q", r.URL.Query().Get("size"))
+		return 0, 0, fmt.Errorf("server: bad size %q", raw)
 	}
 	return id, size, nil
+}
+
+// sizeParam returns the first "size" value in rawQuery, decoded. The common
+// case — a plain decimal value — is returned as a zero-allocation substring;
+// values carrying query escapes take the url.QueryUnescape slow path so the
+// accepted language matches what url.Values.Get would have produced ('+' is
+// a space, %XX decodes, malformed escapes reject the request).
+func sizeParam(rawQuery string) string {
+	for len(rawQuery) > 0 {
+		seg := rawQuery
+		if i := strings.IndexByte(seg, '&'); i >= 0 {
+			seg, rawQuery = seg[:i], rawQuery[i+1:]
+		} else {
+			rawQuery = ""
+		}
+		val, ok := strings.CutPrefix(seg, "size=")
+		if !ok {
+			continue
+		}
+		if strings.IndexByte(val, '%') < 0 && strings.IndexByte(val, '+') < 0 {
+			return val
+		}
+		dec, err := url.QueryUnescape(val)
+		if err != nil {
+			return "" // malformed escape: reject, like url.ParseQuery would
+		}
+		return dec
+	}
+	return ""
 }
 
 // Decider is the cache-management brain plugged into the proxy: a static
@@ -386,8 +401,12 @@ func NewResilientProxy(decider Decider, originURL string, dcLatency time.Duratio
 
 // Metrics returns the decider's cache metrics (thread-safe: the decider is
 // either concurrency-safe itself — sharded engines answer from lock-free
-// per-shard snapshots — or wrapped in the serializing adapter).
+// per-shard snapshots — or wrapped in the serializing adapter). Deciders with
+// deferred counter publication are synced first so the read is exact.
 func (p *Proxy) Metrics() cache.Metrics {
+	if s, ok := p.decider.(interface{ SyncMetrics() }); ok {
+		s.SyncMetrics()
+	}
 	return p.decider.Metrics()
 }
 
@@ -451,7 +470,7 @@ func (p *Proxy) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	// Legacy happy-path data plane: decide first (a miss is accounted — and
 	// possibly admitted — before the origin fetch is known to succeed).
 	res := p.serve(req)
-	w.Header().Set("X-Cache", res.String())
+	setXCache(w.Header(), res)
 	if res == cache.Miss {
 		headerSent, err := p.fetchOriginStream(w, r, id, size)
 		if err != nil {
@@ -468,12 +487,17 @@ func (p *Proxy) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 }
 
 // serveLocal answers a request from the proxy itself (cache hits, committed
-// misses, stale serves), paying the DC delay for disk hits.
+// misses, stale serves), paying the DC delay for disk hits. It is the
+// serve-hit fast path (a darwinlint hotpath root): pre-serialized headers
+// and the shared static body chunk keep it at zero allocations per request
+// above net/http's own internals.
 func (p *Proxy) serveLocal(w http.ResponseWriter, res cache.Result, size int64) {
-	if res == cache.DCHit {
+	if res == cache.DCHit && p.DCLatency > 0 {
 		time.Sleep(p.DCLatency)
 	}
-	w.Header().Set("Content-Length", strconv.FormatInt(size, 10))
+	h := w.Header()
+	setContentType(h)
+	setContentLength(h, size)
 	w.WriteHeader(http.StatusOK)
 	_ = writeBody(w, size) // client went away; nothing useful to do with the error
 }
@@ -486,7 +510,7 @@ func (p *Proxy) serveResilient(w http.ResponseWriter, r *http.Request, req trace
 	if canProbe {
 		if probe := p.lk.Lookup(req.ID); probe != cache.Miss {
 			res := p.serve(req)
-			w.Header().Set("X-Cache", res.String())
+			setXCache(w.Header(), res)
 			p.serveLocal(w, res, req.Size)
 			p.rememberStale(req.ID, req.Size)
 			return
@@ -497,7 +521,7 @@ func (p *Proxy) serveResilient(w http.ResponseWriter, r *http.Request, req trace
 		// miss accounting behind (documented phantom-admission caveat).
 		res := p.serve(req)
 		if res != cache.Miss {
-			w.Header().Set("X-Cache", res.String())
+			setXCache(w.Header(), res)
 			p.serveLocal(w, res, req.Size)
 			p.rememberStale(req.ID, req.Size)
 			return
@@ -523,7 +547,7 @@ func (p *Proxy) serveResilient(w http.ResponseWriter, r *http.Request, req trace
 			// the hit it found.
 			res = p.serve(req)
 		}
-		w.Header().Set("X-Cache", res.String())
+		setXCache(w.Header(), res)
 		p.serveLocal(w, res, req.Size)
 		p.rememberStale(req.ID, req.Size)
 		return
@@ -551,7 +575,7 @@ func (p *Proxy) serveResilient(w http.ResponseWriter, r *http.Request, req trace
 	if p.res.ServeStale {
 		if _, ok := p.staleHas(req.ID); ok {
 			p.stats.Add(req.ID, psStaleServes, 1)
-			w.Header().Set("X-Cache", "stale")
+			w.Header()["X-Cache"] = xcacheStale
 			w.Header().Set("Warning", `110 darwin-proxy "response is stale"`)
 			p.serveLocal(w, cache.HOCHit, req.Size)
 			return
@@ -697,8 +721,7 @@ func (p *Proxy) fetchDiscard(ctx context.Context, id uint64, size int64) error {
 		ctx, cancel = context.WithTimeout(ctx, p.res.FetchTimeout)
 		defer cancel()
 	}
-	url := fmt.Sprintf("%s/obj/%d?size=%d", p.OriginURL, id, size)
-	hreq, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
+	hreq, err := http.NewRequestWithContext(ctx, http.MethodGet, originURL(p.OriginURL, id, size), nil)
 	if err != nil {
 		return fmt.Errorf("server: origin request: %w", err)
 	}
@@ -728,8 +751,7 @@ func (p *Proxy) fetchDiscard(ctx context.Context, id uint64, size int64) error {
 // whether a 502 can still be written.
 func (p *Proxy) fetchOriginStream(w http.ResponseWriter, r *http.Request, id uint64, size int64) (headerSent bool, err error) {
 	p.stats.Add(id, psOriginFetches, 1)
-	url := fmt.Sprintf("%s/obj/%d?size=%d", p.OriginURL, id, size)
-	hreq, err := http.NewRequestWithContext(r.Context(), http.MethodGet, url, nil)
+	hreq, err := http.NewRequestWithContext(r.Context(), http.MethodGet, originURL(p.OriginURL, id, size), nil)
 	if err != nil {
 		return false, fmt.Errorf("server: origin request: %w", err)
 	}
@@ -742,13 +764,21 @@ func (p *Proxy) fetchOriginStream(w http.ResponseWriter, r *http.Request, id uin
 		_, _ = io.CopyN(io.Discard, resp.Body, 1<<10) // best-effort drain so the connection can be reused
 		return false, fmt.Errorf("server: origin status %d", resp.StatusCode)
 	}
-	if cl := resp.Header.Get("Content-Length"); cl != "" {
-		w.Header().Set("Content-Length", cl)
+	h := w.Header()
+	setContentType(h)
+	if cl, ok := resp.Header["Content-Length"]; ok && len(cl) > 0 && cl[0] != "" {
+		h["Content-Length"] = cl
 	} else {
-		w.Header().Set("Content-Length", strconv.FormatInt(size, 10))
+		setContentLength(h, size)
 	}
 	w.WriteHeader(http.StatusOK)
-	if n, err := io.Copy(w, resp.Body); err != nil {
+	// The relay is the one proxy path that must own bytes in flight: copy
+	// through a pooled buffer (ResponseWriters with a ReadFrom fast path
+	// still take it; the buffer then goes back unused but unharmed).
+	buf := getCopyBuf()
+	n, err := io.CopyBuffer(w, resp.Body, *buf)
+	putCopyBuf(buf)
+	if err != nil {
 		return true, fmt.Errorf("server: origin copy after %d/%d bytes: %w", n, size, err)
 	}
 	return true, nil

@@ -56,6 +56,26 @@ func (c *Cell) Add(i int, delta int64) { c.vals[i].Add(delta) }
 // Set stores v into counter i. Call between Begin and End.
 func (c *Cell) Set(i int, v int64) { c.vals[i].Store(v) }
 
+// Store publishes a whole counter block in one write section: Begin, one
+// store per value, End. It is the batched-publication primitive — a writer
+// that accumulates deltas locally (e.g. a cache shard batching K requests)
+// pays the two seqlock fences once per publication instead of once per
+// counter update. len(vals) must equal Width; the caller must be the cell's
+// only writer.
+func (c *Cell) Store(vals []int64) {
+	// Plain panic string: Store sits on the serving hot path (reachable from
+	// Sharded.Serve), where the lint forbids fmt formatting even on the
+	// can't-happen branch.
+	if len(vals) != len(c.vals) {
+		panic("stripe: store width != cell width")
+	}
+	c.seq.Add(1)
+	for i, v := range vals {
+		c.vals[i].Store(v)
+	}
+	c.seq.Add(1)
+}
+
 // Snapshot copies every counter into dst (len(dst) must equal Width) at one
 // consistent point in time: if the writer is mid-section, the read retries
 // until it observes the same even sequence number on both sides of the copy.

@@ -39,6 +39,48 @@ func TestCellSnapshotConsistency(t *testing.T) {
 	wg.Wait()
 }
 
+func TestCellStoreBulkPublication(t *testing.T) {
+	// Store publishes a whole block in one write section; readers must see
+	// either the previous block or the new one in full, never a mix. The
+	// writer maintains vals[1] == 2*vals[0] in every published block.
+	c := NewCell(2)
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		block := make([]int64, 2)
+		for i := int64(1); ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			block[0], block[1] = i, 2*i
+			c.Store(block)
+		}
+	}()
+	buf := make([]int64, 2)
+	for i := 0; i < 20_000; i++ {
+		c.Snapshot(buf)
+		if buf[1] != 2*buf[0] {
+			close(stop)
+			wg.Wait()
+			t.Fatalf("torn bulk publication: vals = %v", buf)
+		}
+	}
+	close(stop)
+	wg.Wait()
+
+	// Width mismatch is a programming error and must panic.
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Store with wrong width did not panic")
+		}
+	}()
+	c.Store(make([]int64, 3))
+}
+
 func TestCountersTotalsAndOrdering(t *testing.T) {
 	// Each worker bumps counter 0 then counter 1 under its own key. Within a
 	// stripe the pair is ordered, and every stripe is snapshotted
