@@ -5,7 +5,7 @@
 
 GO ?= go
 
-.PHONY: tier1 vet build test lint race fuzz bench microbench profile chaos chaos-crash
+.PHONY: tier1 vet build test lint lint-audit race fuzz bench microbench profile chaos chaos-crash
 
 tier1: build vet lint test
 
@@ -19,19 +19,29 @@ test:
 	$(GO) test ./...
 
 # lint runs the project's own stdlib-only static-analysis suite: determinism,
-# hot-path allocation, locking, error-hygiene, and context-propagation rules
-# (see internal/lint and the README's "Static analysis & verification").
+# hot-path allocation, locking, error-hygiene, context-propagation, lock-order,
+# seqlock-publication, atomic-mixing, durable-IO, and goroutine-termination
+# rules (see internal/lint and the README's "Static analysis & verification").
+# The content-hash cache makes warm runs (no .go/go.mod/config change) replay
+# the stored result without type-checking; timing for both paths prints to
+# stderr.
 lint:
-	$(GO) run ./cmd/darwinlint ./...
+	$(GO) run ./cmd/darwinlint -cache .darwinlint.cache ./...
+
+# lint-audit additionally flags stale //lint:ignore directives that no longer
+# suppress anything. Audit runs bypass the cache.
+lint-audit:
+	$(GO) run ./cmd/darwinlint -audit ./...
 
 race:
-	$(GO) test -race ./internal/server ./internal/lb ./internal/cache ./internal/stripe ./internal/par ./internal/core ./internal/exp ./internal/bloom ./internal/bandit ./internal/breaker ./internal/diskcache ./internal/persist
+	$(GO) test -race ./internal/server ./internal/lb ./internal/cluster ./internal/cache ./internal/stripe ./internal/par ./internal/core ./internal/exp ./internal/bloom ./internal/bandit ./internal/breaker ./internal/diskcache ./internal/persist
 
 # fuzz runs each fuzz target briefly: URL parsing on the proxy/origin seam,
-# the Bloom filter's uint64/string hash-identity invariants, and the
-# durability decoders (persist frames, journal records/segments, checkpoint
-# and neural-weight payloads) — corrupted on-disk bytes must produce typed
-# errors, never panics.
+# the Bloom filter's uint64/string hash-identity invariants, the durability
+# decoders (persist frames, journal records/segments, checkpoint and
+# neural-weight payloads) — corrupted on-disk bytes must produce typed
+# errors, never panics — and darwinlint's own annotation parsers
+# (//lint:ignore directives and guarded-by comments).
 fuzz:
 	$(GO) test ./internal/server -fuzz FuzzParseObjectURL -fuzztime 10s
 	$(GO) test ./internal/bloom -fuzz FuzzHashIdentity -fuzztime 10s
@@ -42,6 +52,8 @@ fuzz:
 	$(GO) test ./internal/diskcache -fuzz FuzzOpenSegment -fuzztime 10s
 	$(GO) test ./internal/core -fuzz FuzzDecodeCheckpoint -fuzztime 10s
 	$(GO) test ./internal/neural -fuzz FuzzUnmarshalNet -fuzztime 10s
+	$(GO) test ./internal/lint -fuzz FuzzParseIgnoreDirective -fuzztime 10s
+	$(GO) test ./internal/lint -fuzz FuzzParseGuardedBy -fuzztime 10s
 
 # bench runs the reproducible performance harness (hot-path micro benchmarks,
 # durability journal/recovery costs, serial-vs-parallel sweep timings) and

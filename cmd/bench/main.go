@@ -146,6 +146,7 @@ func main() {
 	}
 
 	if *cpuProfile != "" {
+		//lint:ignore persistio pprof streams into a live handle; a torn profile from a crashed bench is diagnostic debris, not durable state
 		f, err := os.Create(*cpuProfile)
 		if err != nil {
 			fatal(err)
@@ -306,6 +307,7 @@ func main() {
 	}
 
 	if *memProfile != "" {
+		//lint:ignore persistio pprof writes into a live handle; a torn profile from a crashed bench is diagnostic debris, not durable state
 		f, err := os.Create(*memProfile)
 		if err != nil {
 			fatal(err)

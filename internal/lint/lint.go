@@ -14,13 +14,28 @@
 //   - errcheck: no silently discarded error returns in the experiment and
 //     server packages;
 //   - ctxfirst: exported blocking functions in the concurrency packages take
-//     a context.Context as their first parameter.
+//     a context.Context as their first parameter;
+//   - lockorder: no mutex held across a blocking operation (origin fetch,
+//     channel op, fsync, time.Sleep), no double-lock of one mutex, and no
+//     lock-order cycles between lock classes;
+//   - seqlockpub: stripe.Cell writer calls run inside a critical section and
+//     bracket updates with Begin/End (or the bulk Store), so the
+//     hits+misses==requests snapshot coherence invariant holds;
+//   - atomicmix: no field accessed both through sync/atomic and plainly, and
+//     no value copies of structs containing mutexes or seqlock cells;
+//   - persistio: durable file emission outside the persistence layer routes
+//     through persist.WriteFileAtomic, and decoder packages never panic on
+//     bad input;
+//   - goctx: goroutines spawned in the serving tier have a visible
+//     termination path (ctx use, channel op, or WaitGroup.Done).
 //
 // A diagnostic on line N is suppressed by a directive on line N or N-1:
 //
 //	//lint:ignore <rule> <reason>
 //
-// The reason is mandatory; malformed directives are themselves reported.
+// The reason is mandatory; malformed directives (including unknown rule
+// names) are themselves reported, and RunAudit additionally reports
+// directives that suppressed nothing.
 package lint
 
 import (
@@ -35,7 +50,8 @@ type Diagnostic struct {
 	// Pos locates the finding.
 	Pos token.Position
 	// Rule names the analyzer (determinism, hotpath, locking, errcheck,
-	// ctxfirst, directive).
+	// ctxfirst, lockorder, seqlockpub, atomicmix, persistio, goctx,
+	// directive).
 	Rule string
 	// Msg describes the violation.
 	Msg string
@@ -62,10 +78,34 @@ type Config struct {
 	// CtxFirstPkgs are packages whose exported blocking functions must take a
 	// context.Context first.
 	CtxFirstPkgs []string
+	// LockOrderPkgs are packages whose mutex regions are checked for blocking
+	// calls under a held lock, double-locks, and lock-order cycles.
+	LockOrderPkgs []string
+	// SeqlockPkgs are packages where stripe.Cell writer-protocol use
+	// (Begin/End bracketing inside a critical section) is enforced. The
+	// package declaring Cell itself is always exempt — it is the protocol's
+	// implementation.
+	SeqlockPkgs []string
+	// AtomicMixPkgs are packages checked for fields accessed both through
+	// sync/atomic and plainly, and for value copies of structs containing
+	// mutexes or seqlock cells.
+	AtomicMixPkgs []string
+	// PersistIOPkgs are packages whose durable file emission must route
+	// through persist.WriteFileAtomic; PersistIOExempt carves out the
+	// persistence layer itself, which owns the raw file handles.
+	PersistIOPkgs   []string
+	PersistIOExempt []string
+	// DecoderPkgs are the on-disk-format decoder packages: panicking there is
+	// forbidden — corrupt bytes must surface as typed errors.
+	DecoderPkgs []string
+	// GoCtxPkgs are packages whose go statements must spawn goroutines with a
+	// visible termination path (ctx use, channel op, or WaitGroup.Done).
+	GoCtxPkgs []string
 }
 
 // DefaultConfig returns the repository's enforced configuration: the
-// determinism boundary, the cache hot path, and the concurrency packages.
+// determinism boundary, the cache hot path, the concurrency packages, and
+// the module-wide concurrency/durability rules.
 func DefaultConfig() Config {
 	return Config{
 		DeterminismPkgs: []string{
@@ -95,6 +135,30 @@ func DefaultConfig() Config {
 			"darwin/internal/par",
 			"darwin/internal/server",
 		},
+		// The concurrency rules hold module-wide: every mutex region, every
+		// seqlock publication, every atomic field.
+		LockOrderPkgs: []string{"darwin"},
+		SeqlockPkgs:   []string{"darwin"},
+		AtomicMixPkgs: []string{"darwin"},
+		// Durable emission goes through persist.WriteFileAtomic everywhere
+		// except the two packages that implement the durability layer and
+		// legitimately hold raw file handles.
+		PersistIOPkgs:   []string{"darwin"},
+		PersistIOExempt: []string{"darwin/internal/persist", "darwin/internal/diskcache"},
+		DecoderPkgs: []string{
+			"darwin/internal/persist",
+			"darwin/internal/diskcache",
+			"darwin/internal/core",
+		},
+		GoCtxPkgs: []string{
+			"darwin/internal/server",
+			"darwin/internal/par",
+			"darwin/internal/core",
+			"darwin/internal/lb",
+			"darwin/internal/cluster",
+			"darwin/cmd/darwin-proxy",
+			"darwin/cmd/origin",
+		},
 	}
 }
 
@@ -121,6 +185,16 @@ func FixtureConfig(name string) Config {
 		return Config{ErrcheckPkgs: []string{path}}
 	case "ctxfirst":
 		return Config{CtxFirstPkgs: []string{path}}
+	case "lockorder":
+		return Config{LockOrderPkgs: []string{path}}
+	case "seqlockpub":
+		return Config{SeqlockPkgs: []string{path}}
+	case "atomicmix":
+		return Config{AtomicMixPkgs: []string{path}}
+	case "persistio":
+		return Config{PersistIOPkgs: []string{path}, DecoderPkgs: []string{path}}
+	case "goctx":
+		return Config{GoCtxPkgs: []string{path}}
 	}
 	return Config{}
 }
@@ -139,12 +213,45 @@ func analyzers() []analyzer {
 		{"locking", runLocking},
 		{"errcheck", runErrcheck},
 		{"ctxfirst", runCtxFirst},
+		{"lockorder", runLockOrder},
+		{"seqlockpub", runSeqlockPub},
+		{"atomicmix", runAtomicMix},
+		{"persistio", runPersistIO},
+		{"goctx", runGoCtx},
 	}
+}
+
+// knownRules is every rule name a //lint:ignore directive may suppress; a
+// directive naming anything else can never fire and is reported as
+// malformed.
+var knownRules = map[string]bool{
+	"determinism": true,
+	"hotpath":     true,
+	"locking":     true,
+	"errcheck":    true,
+	"ctxfirst":    true,
+	"lockorder":   true,
+	"seqlockpub":  true,
+	"atomicmix":   true,
+	"persistio":   true,
+	"goctx":       true,
 }
 
 // Run executes every analyzer over prog, applies //lint:ignore suppressions,
 // and returns the surviving diagnostics sorted by position.
 func Run(prog *Program, cfg Config) []Diagnostic {
+	return run(prog, cfg, false)
+}
+
+// RunAudit is Run plus the suppression audit: every well-formed
+// //lint:ignore directive that suppressed no diagnostic is stale and
+// reported itself, so the suppression inventory can only shrink toward
+// directives whose reasons still match the code.
+func RunAudit(prog *Program, cfg Config) []Diagnostic {
+	return run(prog, cfg, true)
+}
+
+func run(prog *Program, cfg Config, audit bool) []Diagnostic {
 	var diags []Diagnostic
 	for _, a := range analyzers() {
 		diags = append(diags, a.run(&cfg, prog)...)
@@ -157,6 +264,19 @@ func Run(prog *Program, cfg Config) []Diagnostic {
 			continue
 		}
 		kept = append(kept, d)
+	}
+	if audit {
+		for _, dir := range sup.directives {
+			if dir.used {
+				continue
+			}
+			kept = append(kept, Diagnostic{
+				Pos:  dir.pos,
+				Rule: "directive",
+				Msg: fmt.Sprintf("unused //lint:ignore %s suppression: no diagnostic here to suppress (stale; remove it)",
+					strings.Join(dir.rules, ",")),
+			})
+		}
 	}
 	sort.Slice(kept, func(i, j int) bool {
 		a, b := kept[i], kept[j]
@@ -185,38 +305,70 @@ func hasPrefixPath(importPath string, prefixes []string) bool {
 	return false
 }
 
-// suppressions maps file:line to the set of rules ignored there.
+// directive is one well-formed //lint:ignore comment; used flips when it
+// suppresses a diagnostic, and the audit reports the ones that never did.
+type directive struct {
+	pos   token.Position
+	rules []string
+	used  bool
+}
+
+// suppressions maps file:line to the directives active there.
 type suppressions struct {
-	byLine    map[string]map[int][]string
-	malformed []Diagnostic
+	byLine     map[string]map[int][]*directive
+	directives []*directive
+	malformed  []Diagnostic
+}
+
+// parseIgnoreDirective parses one comment's text. matched reports whether
+// the comment is a //lint:ignore directive at all; when it is, rules (comma
+// separated, "*" wildcard allowed) and the mandatory reason are returned,
+// with errMsg non-empty when the directive is malformed (missing parts or an
+// unknown rule name).
+func parseIgnoreDirective(text string) (rules []string, reason string, matched bool, errMsg string) {
+	rest, matched := strings.CutPrefix(text, "//lint:ignore")
+	if !matched {
+		return nil, "", false, ""
+	}
+	fields := strings.Fields(rest)
+	if len(fields) < 2 {
+		return nil, "", true, "need a rule name and a reason"
+	}
+	rules = strings.Split(fields[0], ",")
+	for _, r := range rules {
+		if r != "*" && !knownRules[r] {
+			return rules, "", true, fmt.Sprintf("unknown rule %q", r)
+		}
+	}
+	return rules, strings.Join(fields[1:], " "), true, ""
 }
 
 // collectSuppressions scans every comment group for //lint:ignore directives.
 func collectSuppressions(prog *Program) *suppressions {
-	s := &suppressions{byLine: make(map[string]map[int][]string)}
+	s := &suppressions{byLine: make(map[string]map[int][]*directive)}
 	for _, pkg := range prog.Pkgs {
 		for _, f := range pkg.Files {
 			for _, cg := range f.Comments {
 				for _, c := range cg.List {
-					rest, ok := strings.CutPrefix(c.Text, "//lint:ignore")
-					if !ok {
+					rules, _, matched, errMsg := parseIgnoreDirective(c.Text)
+					if !matched {
 						continue
 					}
 					pos := prog.Fset.Position(c.Pos())
-					fields := strings.Fields(rest)
-					if len(fields) < 2 {
+					if errMsg != "" {
 						s.malformed = append(s.malformed, Diagnostic{
 							Pos:  pos,
 							Rule: "directive",
-							Msg:  "malformed //lint:ignore directive: need a rule name and a reason",
+							Msg:  "malformed //lint:ignore directive: " + errMsg,
 						})
 						continue
 					}
 					if s.byLine[pos.Filename] == nil {
-						s.byLine[pos.Filename] = make(map[int][]string)
+						s.byLine[pos.Filename] = make(map[int][]*directive)
 					}
-					rules := strings.Split(fields[0], ",")
-					s.byLine[pos.Filename][pos.Line] = append(s.byLine[pos.Filename][pos.Line], rules...)
+					dir := &directive{pos: pos, rules: rules}
+					s.byLine[pos.Filename][pos.Line] = append(s.byLine[pos.Filename][pos.Line], dir)
+					s.directives = append(s.directives, dir)
 				}
 			}
 		}
@@ -225,16 +377,19 @@ func collectSuppressions(prog *Program) *suppressions {
 }
 
 // suppressed reports whether d is covered by a directive on its own line or
-// the line directly above it.
+// the line directly above it, marking the matching directive used.
 func (s *suppressions) suppressed(d Diagnostic) bool {
 	lines := s.byLine[d.Pos.Filename]
 	if lines == nil {
 		return false
 	}
 	for _, line := range []int{d.Pos.Line, d.Pos.Line - 1} {
-		for _, rule := range lines[line] {
-			if rule == d.Rule || rule == "*" {
-				return true
+		for _, dir := range lines[line] {
+			for _, rule := range dir.rules {
+				if rule == d.Rule || rule == "*" {
+					dir.used = true
+					return true
+				}
 			}
 		}
 	}

@@ -33,7 +33,10 @@ var wantRe = regexp.MustCompile(`want "((?:[^"\\]|\\.)*)"`)
 // each annotated line must produce a matching diagnostic and no unannotated
 // diagnostics may appear.
 func TestFixtures(t *testing.T) {
-	fixtures := []string{"determinism", "hotpath", "locking", "errcheck", "ctxfirst", "suppress", "sharding"}
+	fixtures := []string{
+		"determinism", "hotpath", "locking", "errcheck", "ctxfirst", "suppress", "sharding",
+		"lockorder", "seqlockpub", "atomicmix", "persistio", "goctx",
+	}
 	for _, name := range fixtures {
 		t.Run(name, func(t *testing.T) {
 			l := loader(t)
@@ -135,7 +138,42 @@ func TestRealTreeClean(t *testing.T) {
 		t.Fatalf("hot-path roots resolved to %d functions; config out of date: %v", len(roots), cfg.HotPathRoots)
 	}
 
-	for _, d := range Run(prog, cfg) {
+	// RunAudit is strictly harsher than Run: it also flags suppressions
+	// that stopped suppressing anything, so stale //lint:ignore directives
+	// fail the gate the same way live violations do.
+	for _, d := range RunAudit(prog, cfg) {
 		t.Errorf("unexpected diagnostic: %s", d)
+	}
+}
+
+// TestSuppressionAudit pins the audit pass: the suppress fixture carries one
+// well-formed directive that suppresses nothing ("hotpath" on a line with no
+// hotpath diagnostic), which must surface in audit mode and only there.
+func TestSuppressionAudit(t *testing.T) {
+	l := loader(t)
+	pkg, err := l.LoadDirAs(filepath.Join("testdata", "suppress"), FixturePrefix+"suppress")
+	if err != nil {
+		t.Fatalf("loading fixture: %v", err)
+	}
+	prog := &Program{Fset: l.Fset(), Pkgs: []*Package{pkg}}
+	cfg := FixtureConfig("suppress")
+
+	base := Run(prog, cfg)
+	audited := RunAudit(prog, cfg)
+
+	var extra []Diagnostic
+	for _, d := range audited {
+		if d.Rule == "directive" && strings.Contains(d.Msg, "unused //lint:ignore") {
+			extra = append(extra, d)
+		}
+	}
+	if len(extra) != 1 {
+		t.Fatalf("audit found %d unused-suppression diagnostics, want exactly 1: %v", len(extra), audited)
+	}
+	if !strings.Contains(extra[0].Msg, "hotpath") {
+		t.Errorf("unused-suppression diagnostic names the wrong rule: %s", extra[0])
+	}
+	if len(audited) != len(base)+1 {
+		t.Errorf("audit must add exactly the unused-directive finding: base %d, audited %d", len(base), len(audited))
 	}
 }

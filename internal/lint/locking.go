@@ -11,6 +11,16 @@ import (
 // a field or var-block comment.
 var guardedByRe = regexp.MustCompile(`(?i)\bguarded by (\w+)\b`)
 
+// parseGuardedBy extracts the mutex name from a "guarded by <mu>" annotation
+// in comment text; ok is false when no annotation is present.
+func parseGuardedBy(text string) (mu string, ok bool) {
+	m := guardedByRe.FindStringSubmatch(text)
+	if m == nil {
+		return "", false
+	}
+	return m[1], true
+}
+
 // guard records one annotated variable: field or package var obj must only be
 // accessed by functions that lock mu.
 type guard struct {
@@ -69,10 +79,10 @@ func collectGuards(prog *Program, pkg *Package) (map[types.Object]*guard, []Diag
 			// it declares (except the mutex itself, which may be declared in
 			// the same block or elsewhere at package level).
 			if gd.Tok.String() == "var" && gd.Doc != nil {
-				if m := guardedByRe.FindStringSubmatch(gd.Doc.Text()); m != nil {
-					muObj := pkg.Types.Scope().Lookup(m[1])
+				if name, ok := parseGuardedBy(gd.Doc.Text()); ok {
+					muObj := pkg.Types.Scope().Lookup(name)
 					if muObj == nil || !isMutexType(muObj.Type()) {
-						bad(gd, "guarded-by annotation names %q, which is not a package-level sync.Mutex/RWMutex", m[1])
+						bad(gd, "guarded-by annotation names %q, which is not a package-level sync.Mutex/RWMutex", name)
 						continue
 					}
 					for _, spec := range gd.Specs {
@@ -114,13 +124,13 @@ func collectFieldGuards(pkg *Package, st *ast.StructType, guards map[types.Objec
 		if field.Comment != nil {
 			text += field.Comment.Text()
 		}
-		m := guardedByRe.FindStringSubmatch(text)
-		if m == nil {
+		muName, ok := parseGuardedBy(text)
+		if !ok {
 			continue
 		}
-		muObj, ok := muByName[m[1]]
+		muObj, ok := muByName[muName]
 		if !ok {
-			bad(field, "guarded-by annotation names %q, which is not a sibling sync.Mutex/RWMutex field", m[1])
+			bad(field, "guarded-by annotation names %q, which is not a sibling sync.Mutex/RWMutex field", muName)
 			continue
 		}
 		for _, name := range field.Names {
@@ -150,7 +160,7 @@ func lockingInFunc(prog *Program, pkg *Package, fd *ast.FuncDecl, guards map[typ
 	if len(name) > 6 && name[len(name)-6:] == "Locked" {
 		return nil // the caller holds the lock by convention
 	}
-	locked := lockedMutexes(pkg, fd)
+	locked := lockedMutexes(pkg, fd.Body)
 	skip := skippedIdents(fd)
 	var diags []Diagnostic
 	ast.Inspect(fd.Body, func(n ast.Node) bool {
@@ -207,9 +217,9 @@ func skippedIdents(fd *ast.FuncDecl) map[*ast.Ident]bool {
 
 // lockedMutexes returns the set of mutex objects the function body locks
 // (Lock or RLock on a field or package-level mutex).
-func lockedMutexes(pkg *Package, fd *ast.FuncDecl) map[types.Object]bool {
+func lockedMutexes(pkg *Package, body ast.Node) map[types.Object]bool {
 	locked := make(map[types.Object]bool)
-	ast.Inspect(fd.Body, func(n ast.Node) bool {
+	ast.Inspect(body, func(n ast.Node) bool {
 		call, ok := n.(*ast.CallExpr)
 		if !ok {
 			return true

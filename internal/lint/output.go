@@ -1,0 +1,133 @@
+package lint
+
+import (
+	"encoding/json"
+)
+
+// jsonDiagnostic is the machine-readable shape of a Diagnostic: stable field
+// names for scripting against `darwinlint -json`.
+type jsonDiagnostic struct {
+	File    string `json:"file"`
+	Line    int    `json:"line"`
+	Column  int    `json:"column"`
+	Rule    string `json:"rule"`
+	Message string `json:"message"`
+}
+
+// RenderJSON serializes diagnostics as a JSON array (never null: an empty
+// run renders as []).
+func RenderJSON(diags []Diagnostic) ([]byte, error) {
+	out := make([]jsonDiagnostic, 0, len(diags))
+	for _, d := range diags {
+		out = append(out, jsonDiagnostic{
+			File:    d.Pos.Filename,
+			Line:    d.Pos.Line,
+			Column:  d.Pos.Column,
+			Rule:    d.Rule,
+			Message: d.Msg,
+		})
+	}
+	b, err := json.MarshalIndent(out, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(b, '\n'), nil
+}
+
+// Minimal SARIF 2.1.0 document: one run, one rule entry per distinct rule
+// that fired, one result per diagnostic. Enough structure for code-scanning
+// UIs to ingest without any fields they would reject.
+type sarifLog struct {
+	Schema  string     `json:"$schema"`
+	Version string     `json:"version"`
+	Runs    []sarifRun `json:"runs"`
+}
+
+type sarifRun struct {
+	Tool    sarifTool     `json:"tool"`
+	Results []sarifResult `json:"results"`
+}
+
+type sarifTool struct {
+	Driver sarifDriver `json:"driver"`
+}
+
+type sarifDriver struct {
+	Name           string      `json:"name"`
+	InformationURI string      `json:"informationUri"`
+	Rules          []sarifRule `json:"rules"`
+}
+
+type sarifRule struct {
+	ID string `json:"id"`
+}
+
+type sarifResult struct {
+	RuleID    string          `json:"ruleId"`
+	Level     string          `json:"level"`
+	Message   sarifMessage    `json:"message"`
+	Locations []sarifLocation `json:"locations"`
+}
+
+type sarifMessage struct {
+	Text string `json:"text"`
+}
+
+type sarifLocation struct {
+	PhysicalLocation sarifPhysicalLocation `json:"physicalLocation"`
+}
+
+type sarifPhysicalLocation struct {
+	ArtifactLocation sarifArtifactLocation `json:"artifactLocation"`
+	Region           sarifRegion           `json:"region"`
+}
+
+type sarifArtifactLocation struct {
+	URI string `json:"uri"`
+}
+
+type sarifRegion struct {
+	StartLine   int `json:"startLine"`
+	StartColumn int `json:"startColumn"`
+}
+
+// RenderSARIF serializes diagnostics as a SARIF 2.1.0 log.
+func RenderSARIF(diags []Diagnostic) ([]byte, error) {
+	seen := make(map[string]bool)
+	var rules []sarifRule
+	results := make([]sarifResult, 0, len(diags))
+	for _, d := range diags {
+		if !seen[d.Rule] {
+			seen[d.Rule] = true
+			rules = append(rules, sarifRule{ID: d.Rule})
+		}
+		results = append(results, sarifResult{
+			RuleID:  d.Rule,
+			Level:   "error",
+			Message: sarifMessage{Text: d.Msg},
+			Locations: []sarifLocation{{
+				PhysicalLocation: sarifPhysicalLocation{
+					ArtifactLocation: sarifArtifactLocation{URI: d.Pos.Filename},
+					Region:           sarifRegion{StartLine: d.Pos.Line, StartColumn: d.Pos.Column},
+				},
+			}},
+		})
+	}
+	log := sarifLog{
+		Schema:  "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/Schemata/sarif-schema-2.1.0.json",
+		Version: "2.1.0",
+		Runs: []sarifRun{{
+			Tool: sarifTool{Driver: sarifDriver{
+				Name:           "darwinlint",
+				InformationURI: "https://example.invalid/darwinlint",
+				Rules:          rules,
+			}},
+			Results: results,
+		}},
+	}
+	b, err := json.MarshalIndent(log, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(b, '\n'), nil
+}

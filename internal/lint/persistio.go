@@ -1,0 +1,90 @@
+package lint
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/types"
+)
+
+// runPersistIO enforces the durability layer's two boundaries:
+//
+//   - Outside the exempt persistence packages (which own the raw file
+//     handles: the atomic-write helper itself and the append-only journal),
+//     durable file emission must route through persist.WriteFileAtomic —
+//     os.WriteFile, os.Create, and os.OpenFile with write flags all leave a
+//     torn file behind a crash, which the PR-6 recovery invariants assume
+//     cannot happen.
+//   - Inside the decoder packages (the on-disk-format readers), panic is
+//     forbidden: arbitrary corrupt bytes must surface as typed errors, the
+//     contract the decoder fuzz targets enforce dynamically and this rule
+//     enforces for every new code path statically.
+func runPersistIO(cfg *Config, prog *Program) []Diagnostic {
+	var diags []Diagnostic
+	for _, pkg := range prog.Pkgs {
+		writeScoped := hasPrefixPath(pkg.ImportPath, cfg.PersistIOPkgs) &&
+			!hasPrefixPath(pkg.ImportPath, cfg.PersistIOExempt)
+		decodeScoped := hasPrefixPath(pkg.ImportPath, cfg.DecoderPkgs)
+		if !writeScoped && !decodeScoped {
+			continue
+		}
+		for _, fd := range funcDecls(pkg) {
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				if writeScoped {
+					if path, name, ok := pkgFuncCall(pkg, call); ok && path == "os" {
+						var msg string
+						switch name {
+						case "WriteFile":
+							msg = "os.WriteFile bypasses persist.WriteFileAtomic; a crash here leaves a torn file"
+						case "Create":
+							msg = "os.Create bypasses persist.WriteFileAtomic; a crash here leaves a torn file"
+						case "OpenFile":
+							if openFileWrites(pkg, call) {
+								msg = "os.OpenFile with write flags bypasses persist.WriteFileAtomic; a crash here leaves a torn file"
+							}
+						}
+						if msg != "" {
+							diags = append(diags, Diagnostic{
+								Pos:  prog.Fset.Position(call.Pos()),
+								Rule: "persistio",
+								Msg:  msg,
+							})
+						}
+					}
+				}
+				if decodeScoped {
+					if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok && id.Name == "panic" {
+						if _, builtin := pkg.Info.Uses[id].(*types.Builtin); builtin {
+							diags = append(diags, Diagnostic{
+								Pos:  prog.Fset.Position(call.Pos()),
+								Rule: "persistio",
+								Msg:  "panic in a decoder package; corrupt input must surface as a typed error, never a crash",
+							})
+						}
+					}
+				}
+				return true
+			})
+		}
+	}
+	return diags
+}
+
+// openFileWrites reports whether an os.OpenFile call's flag argument enables
+// writing. A constant-folded flag equal to os.O_RDONLY (0) is read-only;
+// anything else — including flags the type-checker cannot fold — is treated
+// as a write.
+func openFileWrites(pkg *Package, call *ast.CallExpr) bool {
+	if len(call.Args) < 2 {
+		return true
+	}
+	tv, ok := pkg.Info.Types[call.Args[1]]
+	if !ok || tv.Value == nil {
+		return true
+	}
+	v, exact := constant.Int64Val(tv.Value)
+	return !exact || v != 0
+}

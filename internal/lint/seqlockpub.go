@@ -1,0 +1,146 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// runSeqlockPub enforces the stripe.Cell writer protocol module-wide: the
+// seqlock's coherence contract (readers never observe a torn counter block,
+// so invariants like hits+misses==requests hold in every snapshot) depends
+// on writers being externally serialized and bracketing their stores.
+//
+//   - Writer calls (Begin/End/Add/Set/Store) must run inside a critical
+//     section: the enclosing function locks a mutex in its body or is named
+//     *Locked (its caller holds the lock). Readers use Snapshot, which needs
+//     no lock — Cell's fields are unexported, so snapshot APIs are the only
+//     way out of the package anyway.
+//   - Add/Set must sit between Begin and End on the same receiver; Store
+//     brackets internally and must not nest inside an open section; an
+//     unmatched Begin leaves the sequence number odd and Snapshot spins
+//     forever.
+//
+// The bracketing check walks calls in source order, which is exact for the
+// straight-line publication helpers this repo uses; branch-dependent
+// bracketing should be rewritten straight-line rather than suppressed.
+// The package that declares Cell is exempt — it implements the protocol.
+func runSeqlockPub(cfg *Config, prog *Program) []Diagnostic {
+	if len(cfg.SeqlockPkgs) == 0 {
+		return nil
+	}
+	var diags []Diagnostic
+	for _, pkg := range prog.Pkgs {
+		if !hasPrefixPath(pkg.ImportPath, cfg.SeqlockPkgs) {
+			continue
+		}
+		if strings.HasSuffix(pkg.ImportPath, "internal/stripe") {
+			continue
+		}
+		for _, fd := range funcDecls(pkg) {
+			diags = append(diags, seqlockInFunc(prog, pkg, fd.Name.Name, fd.Body)...)
+		}
+	}
+	return diags
+}
+
+// cellMethod resolves a call to a stripe.Cell method, returning the method
+// name and the receiver expression text.
+func cellMethod(pkg *Package, call *ast.CallExpr) (method, recv string, ok bool) {
+	sel, isSel := call.Fun.(*ast.SelectorExpr)
+	if !isSel {
+		return "", "", false
+	}
+	s, hasSel := pkg.Info.Selections[sel]
+	if !hasSel || s.Kind() != types.MethodVal {
+		return "", "", false
+	}
+	named := namedOf(s.Recv())
+	if named == nil || named.Obj().Pkg() == nil {
+		return "", "", false
+	}
+	if named.Obj().Name() != "Cell" || !strings.HasSuffix(named.Obj().Pkg().Path(), "internal/stripe") {
+		return "", "", false
+	}
+	return sel.Sel.Name, types.ExprString(sel.X), true
+}
+
+// seqlockInFunc checks one function's Cell writer calls: critical-section
+// requirement plus Begin/End bracketing in source order.
+func seqlockInFunc(prog *Program, pkg *Package, name string, body *ast.BlockStmt) []Diagnostic {
+	type writerCall struct {
+		call   *ast.CallExpr
+		method string
+		recv   string
+	}
+	var writers []writerCall
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		method, recv, ok := cellMethod(pkg, call)
+		if !ok {
+			return true
+		}
+		switch method {
+		case "Begin", "End", "Add", "Set", "Store":
+			writers = append(writers, writerCall{call: call, method: method, recv: recv})
+		}
+		return true
+	})
+	if len(writers) == 0 {
+		return nil
+	}
+
+	var diags []Diagnostic
+	report := func(call *ast.CallExpr, format string, args ...any) {
+		diags = append(diags, Diagnostic{
+			Pos:  prog.Fset.Position(call.Pos()),
+			Rule: "seqlockpub",
+			Msg:  fmt.Sprintf(format, args...),
+		})
+	}
+
+	locked := strings.HasSuffix(name, "Locked") || len(lockedMutexes(pkg, body)) > 0
+	if !locked {
+		report(writers[0].call,
+			"stripe.Cell writer %s outside any critical section; hold the owning mutex in %s or move the write into a *Locked helper",
+			writers[0].method, name)
+	}
+
+	open := make(map[string]*ast.CallExpr)
+	for _, wc := range writers {
+		switch wc.method {
+		case "Begin":
+			if _, isOpen := open[wc.recv]; isOpen {
+				report(wc.call, "Cell.Begin while a write section is already open on %s", wc.recv)
+				continue
+			}
+			open[wc.recv] = wc.call
+		case "End":
+			if _, isOpen := open[wc.recv]; !isOpen {
+				report(wc.call, "Cell.End without a matching Begin")
+				continue
+			}
+			delete(open, wc.recv)
+		case "Add", "Set":
+			if _, isOpen := open[wc.recv]; !isOpen {
+				report(wc.call, "Cell.%s outside a Begin/End write section; readers may observe a torn update", wc.method)
+			}
+		case "Store":
+			if _, isOpen := open[wc.recv]; isOpen {
+				report(wc.call, "Cell.Store inside a Begin/End section; Store opens its own")
+			}
+		}
+	}
+	// Report leaked sections in source order (map iteration would be
+	// nondeterministic).
+	for _, wc := range writers {
+		if open[wc.recv] == wc.call {
+			report(wc.call, "Cell.Begin without a matching End leaves the seqlock odd; Snapshot would spin forever")
+		}
+	}
+	return diags
+}

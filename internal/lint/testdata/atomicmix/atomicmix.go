@@ -1,0 +1,52 @@
+// Package atomicmix seeds memory-discipline violations: a field updated
+// through sync/atomic but also read plainly, and value copies of a struct
+// that embeds a mutex (assignment, range, and call-argument shapes).
+package atomicmix
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+type C struct {
+	n  uint64
+	mu sync.Mutex
+	v  int
+}
+
+// IncAtomic is clean: the canonical atomic update.
+func IncAtomic(c *C) {
+	atomic.AddUint64(&c.n, 1)
+}
+
+func ReadPlain(c *C) uint64 {
+	return c.n // want "accessed atomically elsewhere"
+}
+
+func CopyDeref(c *C) int {
+	x := *c // want "copies C which contains sync.Mutex"
+	return x.v
+}
+
+func RangeCopy(cs []C) int {
+	total := 0
+	for _, c := range cs { // want "range copies C"
+		total += c.v
+	}
+	return total
+}
+
+func PassByValue(c *C) {
+	sink(*c) // want "passing by value copies C"
+}
+
+func sink(C) {}
+
+// ByPointer is clean: sharing the struct by pointer copies nothing.
+func ByPointer(cs []*C) int {
+	total := 0
+	for _, c := range cs {
+		total += c.v
+	}
+	return total
+}

@@ -1,0 +1,63 @@
+// Package goctx seeds goroutine leaks: spawns with no visible termination
+// path. The clean spawns pin each accepted signal: context use, select,
+// range-over-channel, and WaitGroup.Done.
+package goctx
+
+import (
+	"context"
+	"sync"
+)
+
+func tick() {}
+
+func work() {}
+
+func runForever() {
+	for {
+		work()
+	}
+}
+
+func Leak() {
+	go func() { // want "no termination path"
+		for {
+			tick()
+		}
+	}()
+}
+
+func LeakNamed() {
+	go runForever() // want "no termination path"
+}
+
+// WatchCtx is clean: the body consults its context.
+func WatchCtx(ctx context.Context, reload chan struct{}) {
+	go func() {
+		for {
+			select {
+			case <-ctx.Done():
+				return
+			case <-reload:
+				work()
+			}
+		}
+	}()
+}
+
+// Drain is clean: ranging over a channel ends when the channel closes.
+func Drain(ch chan int) {
+	go func() {
+		for range ch {
+			work()
+		}
+	}()
+}
+
+// Tracked is clean: the WaitGroup ties the goroutine to a join point.
+func Tracked(wg *sync.WaitGroup) {
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		work()
+	}()
+}

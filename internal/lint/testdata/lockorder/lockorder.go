@@ -1,0 +1,94 @@
+// Package lockorder seeds lock-discipline violations: blocking operations
+// under a held mutex (direct and through a static callee), double-locks, and
+// a lock-order cycle. The clean functions pin the walker's branch handling:
+// unlock-then-block and unlock-in-branch must not fire.
+package lockorder
+
+import (
+	"sync"
+	"time"
+)
+
+type S struct {
+	mu    sync.Mutex
+	ready chan struct{}
+	n     int
+}
+
+func (s *S) sleepUnderLock() {
+	s.mu.Lock()
+	time.Sleep(time.Millisecond) // want "held across time.Sleep"
+	s.mu.Unlock()
+}
+
+func (s *S) sendUnderDeferredLock() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.ready <- struct{}{} // want "held across channel send"
+}
+
+func (s *S) selectUnderLock() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	select { // want "held across select"
+	case <-s.ready: // want "held across channel receive"
+		s.n++
+	}
+}
+
+func (s *S) transitiveBlock() {
+	s.mu.Lock()
+	s.flush() // want "held across call to flush, which blocks"
+	s.mu.Unlock()
+}
+
+func (s *S) flush() {
+	<-s.ready
+}
+
+func (s *S) doubleLock() {
+	s.mu.Lock()
+	s.mu.Lock() // want "locked while already held"
+	s.mu.Unlock()
+}
+
+// unlockThenBlock is clean: the walker must see the unlock before the
+// receive (singleflight's unlock-then-wait shape).
+func (s *S) unlockThenBlock() {
+	s.mu.Lock()
+	s.n++
+	s.mu.Unlock()
+	<-s.ready
+}
+
+// earlyReturn is clean: each branch exit releases the lock, so the
+// fall-through receive runs unlocked.
+func (s *S) earlyReturn(fast bool) {
+	s.mu.Lock()
+	if fast {
+		s.mu.Unlock()
+		return
+	}
+	s.n++
+	s.mu.Unlock()
+	<-s.ready
+}
+
+type Pair struct {
+	a sync.Mutex
+	b sync.Mutex
+}
+
+func (p *Pair) lockAB() {
+	p.a.Lock()
+	p.b.Lock()
+	p.b.Unlock()
+	p.a.Unlock()
+}
+
+func (p *Pair) lockBA() {
+	p.b.Lock()
+	p.a.Lock() // want "lock-order cycle: a -> b -> a"
+	p.a.Unlock()
+	p.b.Unlock()
+}

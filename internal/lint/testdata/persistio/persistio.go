@@ -1,0 +1,46 @@
+// Package persistio seeds durability violations: raw file emission that
+// bypasses persist.WriteFileAtomic, and a panic in decoder code. Read-only
+// opens stay clean.
+package persistio
+
+import "os"
+
+func SaveTorn(path string, data []byte) error {
+	return os.WriteFile(path, data, 0o644) // want "os.WriteFile bypasses persist.WriteFileAtomic"
+}
+
+func CreateTorn(path string) error {
+	f, err := os.Create(path) // want "os.Create bypasses persist.WriteFileAtomic"
+	if err != nil {
+		return err
+	}
+	return f.Close()
+}
+
+func AppendTorn(path string, data []byte) error {
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND|os.O_CREATE, 0o644) // want "os.OpenFile with write flags"
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(data); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// ReadOK is clean: a read-only open cannot tear anything.
+func ReadOK(path string) error {
+	f, err := os.OpenFile(path, os.O_RDONLY, 0)
+	if err != nil {
+		return err
+	}
+	return f.Close()
+}
+
+func Decode(frame []byte) (byte, error) {
+	if len(frame) < 4 {
+		panic("short frame") // want "panic in a decoder package"
+	}
+	return frame[0], nil
+}

@@ -1,0 +1,72 @@
+// Package seqlockpub seeds stripe.Cell writer-protocol violations: writes
+// with no enclosing critical section, stores outside a Begin/End bracket,
+// and an unmatched Begin. The clean functions pin the two sanctioned shapes:
+// a *Locked helper and a lock-in-body publisher.
+package seqlockpub
+
+import (
+	"sync"
+
+	"darwin/internal/stripe"
+)
+
+type shard struct {
+	mu   sync.Mutex
+	cell *stripe.Cell
+}
+
+// publishLocked is clean: the Locked suffix asserts the caller holds the
+// owning mutex.
+func (s *shard) publishLocked(hits, misses int64) {
+	s.cell.Begin()
+	s.cell.Add(0, hits)
+	s.cell.Add(1, misses)
+	s.cell.End()
+}
+
+// publish is clean: it locks its own mutex around a bracketed write.
+func (s *shard) publish(hits int64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.cell.Begin()
+	s.cell.Set(0, hits)
+	s.cell.End()
+}
+
+// bulk is clean: Store brackets internally.
+func (s *shard) bulk(vals []int64) {
+	s.mu.Lock()
+	s.cell.Store(vals)
+	s.mu.Unlock()
+}
+
+func (s *shard) unguarded(hits int64) {
+	s.cell.Begin() // want "outside any critical section"
+	s.cell.Add(0, hits)
+	s.cell.End()
+}
+
+func (s *shard) torn(hits int64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.cell.Add(0, hits) // want "outside a Begin/End write section"
+}
+
+func (s *shard) nestedStore(vals []int64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.cell.Begin()
+	s.cell.Store(vals) // want "Store inside a Begin/End section"
+	s.cell.End()
+}
+
+func (s *shard) leaky(hits int64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.cell.Begin() // want "without a matching End"
+	s.cell.Add(0, hits)
+}
+
+func (s *shard) read(dst []int64) {
+	s.cell.Snapshot(dst)
+}
