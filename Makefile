@@ -5,7 +5,7 @@
 
 GO ?= go
 
-.PHONY: tier1 vet build test lint lint-audit race fuzz bench microbench profile chaos chaos-crash
+.PHONY: tier1 vet build test lint lint-audit race fuzz bench microbench profile chaos chaos-crash chaos-cluster
 
 tier1: build vet lint test
 
@@ -79,3 +79,11 @@ chaos:
 chaos-crash:
 	$(GO) run ./cmd/experiments -only crash
 	DARWIN_CRASH_PROC=1 $(GO) test ./cmd/darwin-proxy -run TestCrashRecoveryProcess -v
+
+# chaos-cluster is the distributed-edge suite: the deterministic in-process
+# cluster drain experiment, then the real-process test that runs a 3-node
+# peer-filled cluster behind darwin-front, SIGTERM-drains one node mid-flood,
+# and asserts zero client-visible failures while the survivors absorb the load.
+chaos-cluster:
+	$(GO) run ./cmd/experiments -only cluster
+	DARWIN_CLUSTER_PROC=1 $(GO) test ./cmd/darwin-front -run TestClusterDrainProcess -v

@@ -93,6 +93,12 @@ type ProxyBench struct {
 	// Shed ≈ 0 — the protection layer's tax is read off the throughput delta.
 	OnTimeRate float64 `json:"on_time_rate,omitempty"`
 	Shed       int     `json:"shed,omitempty"`
+	// Nodes, OHR, and PeerFills are reported by the cluster arms: backend
+	// count behind the front tier, the cluster-wide hit rate (local hits plus
+	// peer fills over requests), and how many misses a ring sibling absorbed.
+	Nodes     int     `json:"nodes,omitempty"`
+	OHR       float64 `json:"ohr,omitempty"`
+	PeerFills int     `json:"peer_fills,omitempty"`
 }
 
 // Durability records the cost of the crash-safety layer: journal append
@@ -125,7 +131,7 @@ func main() {
 	var (
 		out         = flag.String("out", "", "output JSON path; empty selects BENCH_<date>.json, \"-\" skips the JSON write")
 		parallelism = flag.Int("parallelism", runtime.NumCPU(), "worker count for the parallel side of sweep comparisons")
-		only        = flag.String("only", "", "comma-separated sections to run: micro,durability,sweeps,proxy,matrix,overload (empty = all)")
+		only        = flag.String("only", "", "comma-separated sections to run: micro,durability,sweeps,proxy,matrix,overload,cluster (empty = all)")
 		cpuProfile  = flag.String("cpuprofile", "", "write a CPU profile covering the selected sections to this path")
 		memProfile  = flag.String("memprofile", "", "write a heap profile taken after the selected sections to this path")
 	)
@@ -280,6 +286,20 @@ func main() {
 			header: "\n== overload layer overhead (healthy origin, deadline-carrying clients) ==",
 			print:  printOverload,
 			arms:   arms,
+		})
+	}
+	if want("cluster") {
+		var arms []func() (ProxyBench, error)
+		for _, nodes := range []int{1, 3} {
+			arms = append(arms, func() (ProxyBench, error) { return benchClusterOnce(nodes, shardArm, 64) })
+		}
+		tputSections = append(tputSections, proxySection{
+			header: "\n== cluster front tier (1-node vs 3-node: ring routing + peer fill) ==",
+			print: func(pb ProxyBench) {
+				fmt.Printf("  %-36s %8.1f Mbps  %8.0f req/s  p99 %6.2f ms  ohr %.4f  peerfills %d\n",
+					pb.Name, pb.ThroughputMbps, pb.ReqPerSec, pb.P99Millis, pb.OHR, pb.PeerFills)
+			},
+			arms: arms,
 		})
 	}
 	if len(tputSections) > 0 {
@@ -717,6 +737,79 @@ func benchOverloadProxyOnce(shards, concurrency int, protected bool) (ProxyBench
 		P99Millis:      float64(lr.LatencyPercentile(99).Microseconds()) / 1000,
 		OnTimeRate:     lr.GoodputRate(),
 		Shed:           lr.Shed,
+	}, nil
+}
+
+// benchClusterOnce measures end-to-end throughput of the distributed edge:
+// a front tier consistent-hash routing over `nodes` caching proxies that
+// peer-fill from each other on misses, against one shared origin. nodes=1 is
+// the degenerate cluster — one backend, no peers — so the delta to nodes=3
+// prices the cluster machinery (ring routing, one relay hop, sibling probes)
+// against its payoff (aggregate cache capacity, peer fills replacing origin
+// hops). Each node runs the deployed data plane: sharded engine, batched
+// publication, the resilient origin path.
+func benchClusterOnce(nodes, shards, concurrency int) (ProxyBench, error) {
+	tr, err := exp.SyntheticMix(50, 30_000, 11)
+	if err != nil {
+		return ProxyBench{}, err
+	}
+	origin := &server.Origin{}
+	originSrv := httptest.NewServer(origin)
+	defer originSrv.Close()
+
+	proxies := make([]*server.Proxy, nodes)
+	urls := make([]string, nodes)
+	for i := 0; i < nodes; i++ {
+		dec, err := baselines.NewStaticSharded(cache.Expert{Freq: 1, MaxSize: 1 << 20},
+			cache.EvalConfig{HOCBytes: 256 << 10, DCBytes: 32 << 20}, shards)
+		if err != nil {
+			return ProxyBench{}, err
+		}
+		if sh, ok := dec.Engine().(*cache.Sharded); ok {
+			sh.SetPublishEvery(32)
+		}
+		proxies[i] = server.NewResilientProxy(dec, originSrv.URL, 0, server.DefaultResilience())
+		srv := httptest.NewServer(proxies[i])
+		defer srv.Close()
+		urls[i] = srv.URL
+	}
+	if nodes > 1 {
+		for i, p := range proxies {
+			if err := p.SetPeers(server.PeerConfig{Self: urls[i], Nodes: urls}); err != nil {
+				return ProxyBench{}, err
+			}
+		}
+	}
+	front, err := server.NewFront(server.FrontConfig{Backends: urls})
+	if err != nil {
+		return ProxyBench{}, err
+	}
+	frontSrv := httptest.NewServer(front)
+	defer frontSrv.Close()
+
+	lr, err := server.RunLoad(context.Background(), tr, server.LoadConfig{
+		ProxyURL:    frontSrv.URL,
+		Concurrency: concurrency,
+	})
+	if err != nil {
+		return ProxyBench{}, err
+	}
+	ohr := 0.0
+	if lr.Requests > 0 {
+		ohr = float64(lr.HOCHits+lr.DCHits+lr.PeerFills) / float64(lr.Requests)
+	}
+	return ProxyBench{
+		Name:           fmt.Sprintf("cluster/nodes=%d", nodes),
+		Shards:         shards,
+		Concurrency:    concurrency,
+		Nodes:          nodes,
+		Requests:       lr.Requests,
+		Errors:         lr.Errors,
+		ThroughputMbps: lr.ThroughputBps() / 1e6,
+		ReqPerSec:      float64(lr.Requests) / lr.Wall.Seconds(),
+		P99Millis:      float64(lr.LatencyPercentile(99).Microseconds()) / 1000,
+		OHR:            ohr,
+		PeerFills:      lr.PeerFills,
 	}, nil
 }
 

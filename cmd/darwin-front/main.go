@@ -1,0 +1,131 @@
+// Command darwin-front runs the cluster's content-aware front tier (§2.1's
+// balancer, live): a consistent-hash ring with bounded loads over N
+// darwin-proxy backends, with /readyz-driven weight shedding, per-backend
+// circuit breakers with in-request failover, and popularity-adaptive
+// replication of hot objects over ring successors.
+//
+// Usage:
+//
+//	darwin-front -addr :8070 -backends http://127.0.0.1:8081,http://127.0.0.1:8082,http://127.0.0.1:8083
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"darwin/internal/lb"
+	"darwin/internal/server"
+)
+
+func main() {
+	var (
+		addr     = flag.String("addr", ":8070", "listen address")
+		backends = flag.String("backends", "", "comma-separated darwin-proxy base URLs (required; same order as the proxies' -peers)")
+
+		vnodes     = flag.Int("vnodes", 64, "virtual nodes per backend on the ring")
+		loadFactor = flag.Float64("load-factor", 0.25, "bounded-loads ε: per-window budget headroom before spilling")
+		rebalance  = flag.Int("rebalance-every", 10_000, "requests per rebalance window (weights, budgets, replication factors refresh at boundaries)")
+		attempts   = flag.Int("attempts", 3, "max distinct backends tried per request (failover)")
+		probeEvery = flag.Duration("probe-every", 250*time.Millisecond, "/readyz poll period")
+
+		repTopK  = flag.Int("rep-top-k", 16, "max hot objects holding extra replicas per window")
+		repMax   = flag.Int("rep-max-factor", 3, "replication factor cap per object")
+		repShare = flag.Float64("rep-hot-share", 0.02, "request share granting one extra replica")
+
+		drain = flag.Duration("drain", 10*time.Second, "graceful shutdown drain deadline")
+	)
+	flag.Parse()
+	if *backends == "" {
+		fatal(fmt.Errorf("-backends is required"))
+	}
+	nodes := strings.Split(*backends, ",")
+
+	front, err := server.NewFront(server.FrontConfig{
+		Backends:       nodes,
+		VirtualNodes:   *vnodes,
+		LoadFactor:     *loadFactor,
+		RebalanceEvery: *rebalance,
+		Attempts:       *attempts,
+		ProbeEvery:     *probeEvery,
+		Replication: lb.ReplicationConfig{
+			TopK:      *repTopK,
+			MaxFactor: *repMax,
+			HotShare:  *repShare,
+		},
+	})
+	if err != nil {
+		fatal(err)
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	front.Start(ctx)
+
+	health := server.NewHealth()
+	mux := http.NewServeMux()
+	mux.Handle("/obj/", front)
+	mux.HandleFunc("/healthz", health.Healthz)
+	mux.HandleFunc("/readyz", health.Readyz)
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		st := front.Stats()
+		fmt.Fprintf(w, "requests %d\nrelayed %d\nfailovers %d\nbreaker_rejects %d\nno_backend %d\nreplicated %d\nwindow %d\n",
+			st.Requests, st.Relayed, st.Failovers, st.BreakerRejects, st.NoBackend, st.Replicated, front.Window())
+		for i, wt := range front.Weights() {
+			fmt.Fprintf(w, "backend_weight{node=%d} %g\n", i, wt)
+		}
+		var rs [lb.RsWidth]int64
+		front.ReplicationStats(rs[:])
+		fmt.Fprintf(w, "rep_observed %d\nrep_hot_objects %d\nrep_extra_replicas %d\nrep_max_factor %d\n",
+			rs[lb.RsObserved], rs[lb.RsHotObjects], rs[lb.RsExtraReplicas], rs[lb.RsMaxFactor])
+	})
+
+	srv := &http.Server{
+		Addr:              *addr,
+		Handler:           mux,
+		ReadHeaderTimeout: 5 * time.Second,
+		ReadTimeout:       30 * time.Second,
+		IdleTimeout:       60 * time.Second,
+	}
+	fmt.Fprintf(os.Stderr, "darwin-front: listening on %s over %d backends (%s)\n", *addr, len(nodes), *backends)
+	if err := runServer(ctx, srv, *drain, health); err != nil {
+		fatal(err)
+	}
+	st := front.Stats()
+	fmt.Fprintf(os.Stderr, "darwin-front: %d requests, %d relayed, %d failovers, %d no-backend\n",
+		st.Requests, st.Relayed, st.Failovers, st.NoBackend)
+}
+
+// runServer serves until SIGINT/SIGTERM, then runs the health-gated drain:
+// /readyz flips to 503 first, then in-flight connections drain.
+func runServer(ctx context.Context, srv *http.Server, drain time.Duration, health *server.Health) error {
+	errc := make(chan error, 1)
+	go func() { errc <- srv.ListenAndServe() }()
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+	}
+	health.StartDrain()
+	fmt.Fprintln(os.Stderr, "darwin-front: draining (readyz now 503), shutting down...")
+	sctx, cancel := context.WithTimeout(context.Background(), drain)
+	defer cancel()
+	if err := srv.Shutdown(sctx); err != nil {
+		return fmt.Errorf("shutdown: %w", err)
+	}
+	if err := <-errc; err != nil && !errors.Is(err, http.ErrServerClosed) {
+		return err
+	}
+	return nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "darwin-front:", err)
+	os.Exit(1)
+}

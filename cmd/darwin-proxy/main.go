@@ -19,6 +19,7 @@ import (
 	_ "net/http/pprof" // side-listener profiling endpoints, gated by -pprof
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
@@ -60,6 +61,11 @@ func main() {
 		coalesce     = flag.Bool("coalesce", true, "single-flight coalescing of concurrent misses")
 		serveStale   = flag.Bool("serve-stale", true, "serve previously-seen objects stale when the origin is down")
 		drain        = flag.Duration("drain", 10*time.Second, "graceful shutdown drain deadline")
+
+		peers       = flag.String("peers", "", "comma-separated cluster node base URLs (enables peer cache fill; must include -self)")
+		self        = flag.String("self", "", "this node's own entry in -peers")
+		peerFanout  = flag.Int("peer-fanout", 2, "max ring siblings probed per miss")
+		peerTimeout = flag.Duration("peer-timeout", 150*time.Millisecond, "per-sibling probe deadline")
 
 		overload       = flag.Bool("overload", true, "enable the overload-protection layer (breaker, admission, deadlines, hedging)")
 		maxInflight    = flag.Int64("max-inflight", 512, "admission control: max concurrently admitted requests (0 = unlimited)")
@@ -187,6 +193,17 @@ func main() {
 		RetryBudget:       *retryBudget,
 	}
 	proxy := server.NewOverloadProxy(dec, *origin, *dcLatency, res, ov)
+	if *peers != "" {
+		if err := proxy.SetPeers(server.PeerConfig{
+			Self:         *self,
+			Nodes:        strings.Split(*peers, ","),
+			Fanout:       *peerFanout,
+			FetchTimeout: *peerTimeout,
+		}); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "darwin-proxy: peer fill over %s (self %s)\n", *peers, *self)
+	}
 	gates := []server.Gate{{Name: "breaker", Ready: proxy.Ready}}
 	if dur != nil {
 		// The proxy serves during recovery (cache misses are correct, just
@@ -208,6 +225,8 @@ func main() {
 			st.OriginFetches, st.Retries, st.FetchFailures, st.Coalesced, st.StaleServes, st.Errors)
 		fmt.Fprintf(w, "shed %d\ndeadline_sheds %d\nbreaker_rejects %d\nhedges %d\nhedge_wins %d\nretry_budget_denied %d\n",
 			st.Shed, st.DeadlineSheds, st.BreakerRejects, st.Hedges, st.HedgeWins, st.RetryBudgetDenied)
+		fmt.Fprintf(w, "peer_probes %d\npeer_fills %d\npeer_errors %d\npeer_rejects %d\npeer_served %d\n",
+			st.PeerProbes, st.PeerFills, st.PeerErrors, st.PeerRejects, st.PeerServed)
 		if bs, ok := proxy.BreakerSnapshot(); ok {
 			fmt.Fprintf(w, "breaker_state %s\nbreaker_opens %d\nbreaker_half_opens %d\nbreaker_reopens %d\nbreaker_closes %d\nbreaker_denied %d\nbreaker_probes %d\n",
 				bs.State, bs.Opens, bs.HalfOpens, bs.Reopens, bs.Closes, bs.Denied, bs.Probes)

@@ -240,6 +240,14 @@ func main() {
 			emit(rep)
 			return nil
 		}},
+		{"cluster", func() error {
+			rep, err := exp.ClusterReport(exp.DefaultClusterConfig())
+			if err != nil {
+				return err
+			}
+			emit(rep)
+			return nil
+		}},
 		{"overload", func() error {
 			oc := exp.DefaultOverloadConfig()
 			oc.Prototype.Shards = *shards

@@ -1,0 +1,83 @@
+package exp
+
+import (
+	"strings"
+	"testing"
+
+	"darwin/internal/lb"
+)
+
+// TestClusterRecovery is the acceptance bar: after node 0 drains mid-flood,
+// cluster OHR recovers to >= 90% of its pre-drain level, peer fills and
+// adaptive replication are visibly at work, and the drained node takes no
+// traffic after the boundary.
+func TestClusterRecovery(t *testing.T) {
+	cc := DefaultClusterConfig()
+	cr, err := RunCluster(cc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := cr.Recovery(); got < 0.9 {
+		t.Fatalf("cluster OHR recovery %.3f < 0.9 (pre-drain %.4f, final %.4f)",
+			got, cr.PreDrainOHR, cr.FinalOHR)
+	}
+	if len(cr.Windows) != (cc.TraceLen+cc.WindowLen-1)/cc.WindowLen {
+		t.Fatalf("got %d windows for %d requests / %d", len(cr.Windows), cc.TraceLen, cc.WindowLen)
+	}
+	var fills, maxR int
+	for _, w := range cr.Windows {
+		fills += w.peerFills
+		if w.maxFactor > maxR {
+			maxR = w.maxFactor
+		}
+	}
+	if fills == 0 {
+		t.Fatal("no peer fills across the whole run")
+	}
+	if maxR < 2 {
+		t.Fatalf("adaptive replication never widened an object (maxR=%d)", maxR)
+	}
+	if maxR > lb.MaxReplicas {
+		t.Fatalf("maxR=%d exceeds MaxReplicas", maxR)
+	}
+
+	// The drain window itself must show in-request failover; afterwards the
+	// drained node goes silent.
+	dw := cr.DrainWindow
+	if cr.Windows[dw].failovers == 0 {
+		t.Fatalf("window %d has no failovers despite a mid-window drain", dw)
+	}
+	total := 0
+	for w := dw + 1; w < len(cr.Windows); w++ {
+		if got := cr.Windows[w].nodeReqs[cc.DrainNode]; got != 0 {
+			t.Fatalf("window %d routed %d requests to the drained node", w, got)
+		}
+		total += cr.Windows[w].reqs
+	}
+	if total == 0 {
+		t.Fatal("no post-drain windows: DrainAt too close to trace end")
+	}
+}
+
+// TestClusterReportDeterministic pins byte-reproducibility: two full runs of
+// the report render identically (internal/exp is under the determinism lint
+// rule, and this experiment takes no wall-clock carve-outs).
+func TestClusterReportDeterministic(t *testing.T) {
+	cc := DefaultClusterConfig()
+	a, err := ClusterReport(cc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := ClusterReport(cc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.String() != b.String() {
+		t.Fatalf("cluster report not byte-reproducible:\n--- run 1 ---\n%s\n--- run 2 ---\n%s", a, b)
+	}
+	for _, want := range []string{"recovery", "peerfill", "failover", "maxR"} {
+		if !strings.Contains(a.String(), want) {
+			t.Fatalf("report missing %q:\n%s", want, a)
+		}
+	}
+}

@@ -1,15 +1,17 @@
 // Package lb models the CDN load-balancing layer of §2.1: content-aware
 // request routing over a server cluster using consistent hashing with
 // bounded loads, re-evaluated periodically (the DNS-TTL analogue). Its role
-// in the reproduction is to *generate* the per-server traffic-mix shifts
-// that motivate Darwin: as capacities or demand change, the balancer spills
-// traffic between servers, so the request sub-stream any one server sees
-// changes composition over time — even when the global workload is stable.
+// in the reproduction is twofold. Offline, Split *generates* the per-server
+// traffic-mix shifts that motivate Darwin: as capacities or demand change,
+// the balancer spills traffic between servers, so the request sub-stream any
+// one server sees changes composition over time — even when the global
+// workload is stable. Online, the same Ring routes live HTTP traffic in the
+// front tier (server.Front), where the Readiness hook is fed from backend
+// /readyz probes and a Replicator widens hot objects over ring successors.
 package lb
 
 import (
 	"fmt"
-	"hash/fnv"
 	"sort"
 
 	"darwin/internal/trace"
@@ -45,6 +47,16 @@ type Config struct {
 	Readiness func(window, server int) float64
 }
 
+func (c Config) validate() error {
+	if c.Servers <= 0 {
+		return fmt.Errorf("lb: Servers must be > 0, got %d", c.Servers)
+	}
+	if c.Weights != nil && len(c.Weights) != c.Servers {
+		return fmt.Errorf("lb: %d weights for %d servers", len(c.Weights), c.Servers)
+	}
+	return nil
+}
+
 func (c Config) withDefaults() Config {
 	if c.VirtualNodes <= 0 {
 		c.VirtualNodes = 64
@@ -58,14 +70,10 @@ func (c Config) withDefaults() Config {
 	return c
 }
 
-// Balancer routes requests to server indices.
+// Balancer routes requests to server indices: a thin adapter that drives a
+// Ring with the lazy full-window cadence (every RebalanceEvery requests).
 type Balancer struct {
-	cfg     Config
-	ring    []ringEntry
-	loads   []int
-	weights []float64
-	window  int
-	n       int // requests in the current window
+	ring *Ring
 }
 
 type ringEntry struct {
@@ -73,124 +81,59 @@ type ringEntry struct {
 	server int
 }
 
-// New builds a balancer.
-func New(cfg Config) (*Balancer, error) {
-	if cfg.Servers <= 0 {
-		return nil, fmt.Errorf("lb: Servers must be > 0, got %d", cfg.Servers)
-	}
-	if cfg.Weights != nil && len(cfg.Weights) != cfg.Servers {
-		return nil, fmt.Errorf("lb: %d weights for %d servers", len(cfg.Weights), cfg.Servers)
-	}
-	cfg = cfg.withDefaults()
-	b := &Balancer{
-		cfg:   cfg,
-		loads: make([]int, cfg.Servers),
-	}
-	for s := 0; s < cfg.Servers; s++ {
-		for v := 0; v < cfg.VirtualNodes; v++ {
-			h := fnv.New64a()
-			fmt.Fprintf(h, "server-%d-vnode-%d", s, v)
-			b.ring = append(b.ring, ringEntry{hash: h.Sum64(), server: s})
-		}
-	}
-	sort.Slice(b.ring, func(i, j int) bool { return b.ring[i].hash < b.ring[j].hash })
-	b.weights = b.windowWeights(0)
-	return b, nil
+func sortRingEntries(ring []ringEntry) {
+	sort.Slice(ring, func(i, j int) bool { return ring[i].hash < ring[j].hash })
 }
 
-func (b *Balancer) windowWeights(window int) []float64 {
-	var w []float64
-	switch {
-	case b.cfg.WeightSchedule != nil:
-		w = b.cfg.WeightSchedule(window)
-	case b.cfg.Weights != nil:
-		w = b.cfg.Weights
+// New builds a balancer.
+func New(cfg Config) (*Balancer, error) {
+	r, err := NewRing(cfg)
+	if err != nil {
+		return nil, err
 	}
-	out := make([]float64, b.cfg.Servers)
-	for i := range out {
-		out[i] = 1
-		if i < len(w) && w[i] >= 0 {
-			out[i] = w[i]
-		}
-		if b.cfg.Readiness != nil {
-			if r := b.cfg.Readiness(window, i); r >= 0 && r < 1 {
-				out[i] *= r
-			}
-		}
-	}
-	return out
+	return &Balancer{ring: r}, nil
 }
 
 // Window returns the current rebalance window index.
-func (b *Balancer) Window() int { return b.window }
+func (b *Balancer) Window() int { return b.ring.Window() }
 
 // Route returns the server index for one request and advances the balancer's
 // load accounting.
 func (b *Balancer) Route(r trace.Request) int {
-	if b.n >= b.cfg.RebalanceEvery {
-		b.window++
-		b.n = 0
-		for i := range b.loads {
-			b.loads[i] = 0
-		}
-		b.weights = b.windowWeights(b.window)
-	}
-	b.n++
-
-	h := fnv.New64a()
-	var buf [8]byte
-	for i := 0; i < 8; i++ {
-		buf[i] = byte(r.ID >> (8 * i))
-	}
-	h.Write(buf[:])
-	target := b.lookup(h.Sum64())
-
-	// Bounded loads: spill clockwise past servers over their window budget.
-	var totalWeight float64
-	for _, w := range b.weights {
-		totalWeight += w
-	}
-	for probe := 0; probe < b.cfg.Servers; probe++ {
-		s := (target + probe) % b.cfg.Servers
-		budget := 1.0
-		if totalWeight > 0 {
-			budget = (1 + b.cfg.LoadFactor) * float64(b.cfg.RebalanceEvery) * b.weights[s] / totalWeight
-		}
-		if float64(b.loads[s]) < budget {
-			b.loads[s]++
-			return s
-		}
-	}
-	// Every server over budget (extreme skew): fall back to the hash target.
-	b.loads[target]++
-	return target
+	return b.ring.Route(r.ID)
 }
 
-// lookup finds the ring successor of hash.
-func (b *Balancer) lookup(hash uint64) int {
-	i := sort.Search(len(b.ring), func(i int) bool { return b.ring[i].hash >= hash })
-	if i == len(b.ring) {
-		i = 0
-	}
-	return b.ring[i].server
-}
-
-// Split routes an entire trace through the balancer and returns each
-// server's sub-trace, preserving timestamps. This is how the reproduction
-// derives "per-server production traces" — sub-streams whose composition
-// shifts at rebalance boundaries — from one global workload.
+// Split routes an entire trace through a ring and returns each server's
+// sub-trace, preserving timestamps. This is how the reproduction derives
+// "per-server production traces" — sub-streams whose composition shifts at
+// rebalance boundaries — from one global workload. Because the trace length
+// is known up front, Split begins each window with its exact request count:
+// the final window of a trace that does not divide RebalanceEvery gets
+// budgets scaled to the requests actually remaining, so a readiness or
+// weight change in that window still bites (a full-window budget would
+// otherwise dwarf the partial window's traffic and the re-weighting would be
+// silently dropped).
 func Split(tr *trace.Trace, cfg Config) ([]*trace.Trace, error) {
-	b, err := New(cfg)
+	rg, err := NewRing(cfg)
 	if err != nil {
 		return nil, err
 	}
-	out := make([]*trace.Trace, b.cfg.Servers)
+	out := make([]*trace.Trace, rg.cfg.Servers)
 	for s := range out {
 		out[s] = &trace.Trace{Name: fmt.Sprintf("%s-server%d", tr.Name, s)}
 	}
-	for _, r := range tr.Requests {
-		s := b.Route(r)
-		out[s].Requests = append(out[s].Requests, r)
+	reqs := tr.Requests
+	every := rg.cfg.RebalanceEvery
+	for start, window := 0, 0; start < len(reqs); start, window = start+every, window+1 {
+		end := start + every
+		if end > len(reqs) {
+			end = len(reqs)
+		}
+		rg.BeginWindow(window, end-start)
+		for _, r := range reqs[start:end] {
+			s := rg.Route(r.ID)
+			out[s].Requests = append(out[s].Requests, r)
+		}
 	}
 	return out, nil
 }

@@ -1,0 +1,183 @@
+package lb
+
+// Adaptive replication (PAPERS.md: "Adaptive Replication in Distributed
+// Content Delivery Networks"): a per-window popularity tracker that widens
+// each hot object's replica set on the ring. Plain consistent hashing sends
+// every request for an object to one primary, so a viral object saturates a
+// single node while its siblings idle; the Replicator observes per-object
+// request share each rebalance window and grants the top-K objects a
+// replication factor R proportional to that share — the front tier then
+// routes them over R ring successors (Ring.RouteReplicated) and the peer-fill
+// path warms the successors on first touch.
+//
+// Concurrency: Observe and Rebalance serialize on an internal mutex (the
+// routing tier calls them under its own routing lock, so the mutex is
+// uncontended there); Factor is lock-free on an atomically swapped read-only
+// snapshot so data-plane readers never block, and the per-window aggregate
+// stats publish through a stripe.Cell for coherent lock-free scraping by
+// /metrics and reports.
+
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"darwin/internal/stripe"
+)
+
+// ReplicationConfig parameterises the popularity tracker.
+type ReplicationConfig struct {
+	// TopK bounds how many objects may hold extra replicas at once
+	// (default 16).
+	TopK int
+	// MaxFactor caps any object's replication factor (default 3, hard
+	// ceiling MaxReplicas).
+	MaxFactor int
+	// HotShare is the request share granting one extra replica: an object
+	// with share s gets factor 1 + floor(s / HotShare), so a 2%-share object
+	// at the default 0.02 gets one extra copy and a 6%-share object gets
+	// three (subject to MaxFactor). Default 0.02.
+	HotShare float64
+}
+
+func (c ReplicationConfig) withDefaults() ReplicationConfig {
+	if c.TopK <= 0 {
+		c.TopK = 16
+	}
+	if c.MaxFactor <= 0 {
+		c.MaxFactor = 3
+	}
+	if c.MaxFactor > MaxReplicas {
+		c.MaxFactor = MaxReplicas
+	}
+	if c.HotShare <= 0 {
+		c.HotShare = 0.02
+	}
+	return c
+}
+
+// Replication stats indexes for the []int64 published per rebalance window;
+// read a coherent row with Replicator.Stats.
+const (
+	RsObserved      = iota // requests observed in the last completed window
+	RsHotObjects           // objects granted extra replicas
+	RsExtraReplicas        // sum of (factor-1) over hot objects
+	RsMaxFactor            // largest factor granted (0 when nothing is hot)
+	RsWidth
+)
+
+// Replicator tracks per-object popularity per rebalance window and derives
+// replication factors for the next window.
+type Replicator struct {
+	cfg ReplicationConfig
+
+	mu     sync.Mutex
+	counts map[uint64]int64 // guarded by mu: current window's per-object hits
+	total  int64            // guarded by mu: current window's request count
+
+	factors atomic.Value // map[uint64]int: read-only snapshot, swapped whole
+	stats   *stripe.Cell
+}
+
+// NewReplicator builds a tracker with no hot objects.
+func NewReplicator(cfg ReplicationConfig) *Replicator {
+	r := &Replicator{
+		cfg:    cfg.withDefaults(),
+		counts: make(map[uint64]int64),
+		stats:  stripe.NewCell(RsWidth),
+	}
+	r.factors.Store(map[uint64]int{})
+	return r
+}
+
+// Observe records one request for id in the current window.
+func (r *Replicator) Observe(id uint64) {
+	r.mu.Lock()
+	r.counts[id]++
+	r.total++
+	r.mu.Unlock()
+}
+
+// Factor returns id's current replication factor (>= 1). Lock-free.
+func (r *Replicator) Factor(id uint64) int {
+	if f, ok := r.factors.Load().(map[uint64]int)[id]; ok {
+		return f
+	}
+	return 1
+}
+
+// Factors returns the current hot set — object id to replication factor for
+// every object with factor > 1. The map is the live read-only snapshot;
+// callers must not mutate it.
+func (r *Replicator) Factors() map[uint64]int {
+	return r.factors.Load().(map[uint64]int)
+}
+
+// Stats fills dst (len >= RsWidth) with a coherent snapshot of the last
+// completed window's replication row.
+func (r *Replicator) Stats(dst []int64) {
+	r.stats.Snapshot(dst)
+}
+
+// hotCandidate pairs an object with its window hit count for top-K sorting.
+type hotCandidate struct {
+	id    uint64
+	count int64
+}
+
+// byCountDesc sorts candidates by count descending, id ascending — a named
+// sort.Interface (not a sort.Slice closure) because Rebalance runs on the
+// front tier's routing path, which the hotpath lint rule keeps closure-free.
+type byCountDesc []hotCandidate
+
+func (s byCountDesc) Len() int { return len(s) }
+func (s byCountDesc) Less(i, j int) bool {
+	if s[i].count != s[j].count {
+		return s[i].count > s[j].count
+	}
+	return s[i].id < s[j].id
+}
+func (s byCountDesc) Swap(i, j int) { s[i], s[j] = s[j], s[i] }
+
+// Rebalance closes the current observation window: the top-K objects by hit
+// count are granted factors from their request share, the snapshot read by
+// Factor is swapped, window stats publish, and counting restarts. Call at
+// every rebalance boundary (typically right after Ring.BeginWindow). Returns
+// the new hot set (read-only, same map Factors returns).
+func (r *Replicator) Rebalance() map[uint64]int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+
+	cand := make([]hotCandidate, 0, len(r.counts))
+	for id, n := range r.counts {
+		cand = append(cand, hotCandidate{id: id, count: n})
+	}
+	sort.Sort(byCountDesc(cand))
+	if len(cand) > r.cfg.TopK {
+		cand = cand[:r.cfg.TopK]
+	}
+
+	hot := make(map[uint64]int)
+	var extra, maxFactor int64
+	for _, c := range cand {
+		share := float64(c.count) / float64(r.total)
+		f := 1 + int(share/r.cfg.HotShare)
+		if f > r.cfg.MaxFactor {
+			f = r.cfg.MaxFactor
+		}
+		if f <= 1 {
+			continue
+		}
+		hot[c.id] = f
+		extra += int64(f - 1)
+		if int64(f) > maxFactor {
+			maxFactor = int64(f)
+		}
+	}
+	r.factors.Store(hot)
+	r.stats.Store([]int64{r.total, int64(len(hot)), extra, maxFactor})
+
+	r.counts = make(map[uint64]int64)
+	r.total = 0
+	return hot
+}

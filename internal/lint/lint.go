@@ -122,12 +122,16 @@ func DefaultConfig() Config {
 			"darwin/internal/cache.Sharded.Serve",
 			"darwin/internal/cache.Eviction.Hit",
 			"darwin/internal/server.Proxy.serveLocal",
+			"darwin/internal/server.Proxy.fetchPeer",
 			"darwin/internal/server.writeBody",
+			"darwin/internal/lb.Ring.RouteReplicated",
+			"darwin/internal/server.Front.pick",
 		},
 		ErrcheckPkgs: []string{
 			"darwin/internal/breaker",
 			"darwin/internal/diskcache",
 			"darwin/internal/exp",
+			"darwin/internal/lb",
 			"darwin/internal/persist",
 			"darwin/internal/server",
 		},
@@ -157,6 +161,7 @@ func DefaultConfig() Config {
 			"darwin/internal/lb",
 			"darwin/internal/cluster",
 			"darwin/cmd/darwin-proxy",
+			"darwin/cmd/darwin-front",
 			"darwin/cmd/origin",
 		},
 	}

@@ -1,0 +1,384 @@
+package server
+
+// Front is the cluster's content-aware front tier — the live counterpart of
+// the offline lb.Split: an HTTP balancer that routes /obj/ requests over N
+// darwin-proxy backends through a consistent-hash ring with bounded loads
+// (§2.1's DNS-TTL balancer, re-evaluated every RebalanceEvery requests).
+// Three feedback loops close over the ring each window:
+//
+//   - readiness: a prober polls each backend's /readyz; an unready or
+//     breaker-open backend sheds its ring weight at the next window boundary
+//     and the bounded-loads spill redistributes its share to ring successors
+//     (a SIGTERM drain empties a node's weight within one window).
+//   - replication: an lb.Replicator observes per-object request share and
+//     widens hot objects over ring successors, so a viral object's traffic
+//     spreads instead of saturating its primary — and the successors it
+//     lands on are exactly the siblings the backends' peer-fill layer
+//     probes, so the copies are warm.
+//   - breakers: each backend has a rolling circuit breaker fed by relay
+//     outcomes; transport failures fail over to the next distinct ring
+//     candidate within the same request.
+//
+// The routing step (pick) is serialized under one mutex — the ring's window
+// state is deliberately single-writer — and is allocation-free, a darwinlint
+// hotpath root. Relaying streams through the shared pooled copy buffers.
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"darwin/internal/breaker"
+	"darwin/internal/lb"
+	"darwin/internal/stripe"
+)
+
+// FrontConfig parameterises the front tier.
+type FrontConfig struct {
+	// Backends are the darwin-proxy base URLs, in the cluster's shared node
+	// order (the same order backends pass to their -peers flag).
+	Backends []string
+	// VirtualNodes per backend on the ring (default 64).
+	VirtualNodes int
+	// LoadFactor is the bounded-loads ε (default 0.25).
+	LoadFactor float64
+	// RebalanceEvery is the routing window length in requests (default
+	// 10_000): weights, budgets, and replication factors refresh at every
+	// window boundary.
+	RebalanceEvery int
+	// Replication configures the hot-object tracker (zero = defaults).
+	Replication lb.ReplicationConfig
+	// Breaker configures the per-backend circuit breaker; zero means
+	// DefaultPeerBreaker.
+	Breaker breaker.Config
+	// Attempts bounds failover: how many distinct ring candidates one
+	// request may try (default 3, capped at len(Backends)).
+	Attempts int
+	// ProbeEvery is the /readyz poll period (default 250 ms).
+	ProbeEvery time.Duration
+	// ProbeTimeout bounds each /readyz poll (default ProbeEvery).
+	ProbeTimeout time.Duration
+	// Client relays requests; nil builds a pooled default.
+	Client *http.Client
+}
+
+// Front-tier stat indexes (stripe counters, same idiom as the proxy's ps*).
+const (
+	fsRequests       = iota // requests routed
+	fsRelayed               // responses streamed back from a backend
+	fsFailovers             // relay attempts beyond the first per request
+	fsBreakerRejects        // candidates skipped on an open breaker
+	fsNoBackend             // requests that exhausted every candidate (502)
+	fsReplicated            // requests routed over a widened replica set
+	fsWidth
+)
+
+// FrontStats is a coherent snapshot of the front tier's counters.
+type FrontStats struct {
+	// Requests counts routed requests; Relayed counts responses streamed
+	// back (Requests - Relayed - NoBackend requests are in flight).
+	Requests, Relayed int64
+	// Failovers counts relay attempts beyond the first; BreakerRejects
+	// counts candidates skipped because their breaker was open.
+	Failovers, BreakerRejects int64
+	// NoBackend counts requests answered 502 after every candidate failed.
+	NoBackend int64
+	// Replicated counts requests routed with a replication factor > 1.
+	Replicated int64
+}
+
+// Front routes client requests over the backend cluster.
+type Front struct {
+	cfg   FrontConfig
+	nodes []string
+
+	// mu serializes the routing step (pick): the ring's window state and the
+	// replicator's observation window advance together under it. The ring
+	// pointer itself is immutable after NewFront, and Successors reads only
+	// construction-time state, so the failover loop walks it lock-free.
+	mu   sync.Mutex
+	ring *lb.Ring
+	rep  *lb.Replicator
+
+	// ready mirrors each backend's last /readyz answer; written by the
+	// prober, read (atomically) by the ring's readiness hook at window
+	// boundaries and by the failover loop.
+	ready []atomic.Bool
+
+	brks   []*breaker.Breaker
+	client *http.Client
+	stats  *stripe.Counters
+}
+
+// NewFront builds a front tier over the given backends. Call Start to run
+// the readiness prober, or drive ProbeOnce manually (tests do).
+func NewFront(cfg FrontConfig) (*Front, error) {
+	if len(cfg.Backends) == 0 {
+		return nil, fmt.Errorf("server: front tier needs at least one backend")
+	}
+	if cfg.Attempts <= 0 {
+		cfg.Attempts = 3
+	}
+	if cfg.Attempts > len(cfg.Backends) {
+		cfg.Attempts = len(cfg.Backends)
+	}
+	if cfg.ProbeEvery <= 0 {
+		cfg.ProbeEvery = 250 * time.Millisecond
+	}
+	if cfg.ProbeTimeout <= 0 {
+		cfg.ProbeTimeout = cfg.ProbeEvery
+	}
+	if cfg.Breaker.Window <= 0 {
+		cfg.Breaker = DefaultPeerBreaker()
+	}
+	f := &Front{
+		cfg:   cfg,
+		nodes: cfg.Backends,
+		rep:   lb.NewReplicator(cfg.Replication),
+		ready: make([]atomic.Bool, len(cfg.Backends)),
+		brks:  make([]*breaker.Breaker, len(cfg.Backends)),
+		stats: stripe.New(proxyStatStripes, fsWidth),
+	}
+	for i := range f.brks {
+		f.brks[i] = breaker.New(cfg.Breaker)
+		f.ready[i].Store(true) // optimistic until the first probe says otherwise
+	}
+	ring, err := lb.NewRing(lb.Config{
+		Servers:        len(cfg.Backends),
+		VirtualNodes:   cfg.VirtualNodes,
+		LoadFactor:     cfg.LoadFactor,
+		RebalanceEvery: cfg.RebalanceEvery,
+		Readiness:      f.readiness,
+	})
+	if err != nil {
+		return nil, err
+	}
+	f.ring = ring
+	f.client = cfg.Client
+	if f.client == nil {
+		f.client = &http.Client{Transport: &http.Transport{
+			MaxIdleConnsPerHost: 256,
+			DisableCompression:  true,
+		}}
+	}
+	return f, nil
+}
+
+// readiness is the ring's per-window weight hook: a backend that failed its
+// last /readyz poll or whose breaker is open sheds its entire ring weight
+// until it recovers.
+func (f *Front) readiness(window, server int) float64 {
+	if !f.ready[server].Load() || f.brks[server].State() == breaker.Open {
+		return 0
+	}
+	return 1
+}
+
+// Start runs the readiness prober until ctx is cancelled.
+func (f *Front) Start(ctx context.Context) {
+	go func() {
+		t := time.NewTicker(f.cfg.ProbeEvery)
+		defer t.Stop()
+		for {
+			select {
+			case <-ctx.Done():
+				return
+			case <-t.C:
+				f.ProbeOnce(ctx)
+			}
+		}
+	}()
+}
+
+// ProbeOnce polls every backend's /readyz once and updates the readiness
+// mirror. Exported so tests (and the drain experiment) can drive probing
+// deterministically instead of racing a ticker.
+func (f *Front) ProbeOnce(ctx context.Context) {
+	for i, n := range f.nodes {
+		f.ready[i].Store(f.probeReadyz(ctx, n))
+	}
+}
+
+// probeReadyz reports whether one backend answers /readyz with 200.
+func (f *Front) probeReadyz(ctx context.Context, node string) bool {
+	ctx, cancel := context.WithTimeout(ctx, f.cfg.ProbeTimeout)
+	defer cancel()
+	hreq, err := http.NewRequestWithContext(ctx, http.MethodGet, node+"/readyz", nil)
+	if err != nil {
+		return false
+	}
+	resp, err := f.client.Do(hreq)
+	if err != nil {
+		return false
+	}
+	defer resp.Body.Close()
+	_, _ = io.CopyN(io.Discard, resp.Body, 1<<10) // best-effort drain so the connection can be reused
+	return resp.StatusCode == http.StatusOK
+}
+
+// pick routes one request: the ring's bounded-loads choice over the object's
+// current replica set, with the replicator observing every request and
+// rebalancing at window boundaries. Serialized under mu; allocation-free
+// outside window boundaries (a darwinlint hotpath root).
+func (f *Front) pick(id uint64) (server int, replicas int) {
+	f.mu.Lock()
+	replicas = f.rep.Factor(id)
+	w := f.ring.Window()
+	server = f.ring.RouteReplicated(id, replicas)
+	if f.ring.Window() != w {
+		// Window boundary crossed: close the replicator's observation window
+		// too, so next window's factors reflect last window's shares.
+		f.rep.Rebalance()
+	}
+	f.rep.Observe(id)
+	f.mu.Unlock()
+	return server, replicas
+}
+
+// Window returns the ring's current rebalance window index.
+func (f *Front) Window() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.ring.Window()
+}
+
+// Weights returns the ring's current effective backend weights (after
+// readiness shedding) — the front tier's /metrics surface for "who is
+// taking traffic".
+func (f *Front) Weights() []float64 {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.ring.Weights()
+}
+
+// Stats returns a coherent snapshot of the front tier's counters.
+func (f *Front) Stats() FrontStats {
+	var v [fsWidth]int64
+	f.stats.Snapshot(v[:])
+	return FrontStats{
+		Requests:       v[fsRequests],
+		Relayed:        v[fsRelayed],
+		Failovers:      v[fsFailovers],
+		BreakerRejects: v[fsBreakerRejects],
+		NoBackend:      v[fsNoBackend],
+		Replicated:     v[fsReplicated],
+	}
+}
+
+// ReplicationStats fills dst (len >= lb.RsWidth) with the replicator's last
+// completed window row.
+func (f *Front) ReplicationStats(dst []int64) {
+	f.rep.Stats(dst)
+}
+
+// ServeHTTP routes one client request to a backend and streams the response
+// back. The ring's pick goes first; on transport failure the request fails
+// over to the next distinct ring candidate (at most Attempts), recording
+// each outcome in the backend's breaker. An HTTP response of any status is
+// relayed — a 502 or shed 503 from a live backend is an answer, not a
+// routing failure.
+func (f *Front) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	id, size, err := parseObjectURL(r)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	primary, replicas := f.pick(id)
+	f.stats.Add(id, fsRequests, 1)
+	if replicas > 1 {
+		f.stats.Add(id, fsReplicated, 1)
+	}
+
+	// Failover order: the routed backend first, then the object's remaining
+	// ring successors (distinct by construction).
+	var cand [lb.MaxReplicas]int
+	width := f.cfg.Attempts + 1
+	if width > len(f.nodes) {
+		width = len(f.nodes)
+	}
+	if width > lb.MaxReplicas {
+		width = lb.MaxReplicas
+	}
+	k := f.ring.Successors(id, cand[:width])
+	tried := 0
+	for i := -1; i < k && tried < f.cfg.Attempts; i++ {
+		var node int
+		if i < 0 {
+			node = primary
+		} else {
+			node = cand[i]
+			if node == primary {
+				continue
+			}
+		}
+		if !f.brks[node].Allow() {
+			f.stats.Add(id, fsBreakerRejects, 1)
+			continue
+		}
+		if tried > 0 {
+			f.stats.Add(id, fsFailovers, 1)
+		}
+		tried++
+		if f.relay(w, r, node, id, size) {
+			f.stats.Add(id, fsRelayed, 1)
+			return
+		}
+	}
+	f.stats.Add(id, fsNoBackend, 1)
+	http.Error(w, "front: no backend available", http.StatusBadGateway)
+}
+
+// relay forwards the request to one backend and, if the backend answers
+// HTTP at all, streams the response to the client. Returns false only on
+// transport-level failure (connection refused/reset, deadline), in which
+// case nothing has been written and the caller may fail over.
+func (f *Front) relay(w http.ResponseWriter, r *http.Request, node int, id uint64, size int64) bool {
+	hreq, err := http.NewRequestWithContext(r.Context(), http.MethodGet, originURL(f.nodes[node], id, size), nil)
+	if err != nil {
+		f.brks[node].Record(false)
+		return false
+	}
+	// Propagate the client's deadline advertisement so backend deadline
+	// shedding still works behind the front tier.
+	if dl := r.Header[DeadlineHeader]; len(dl) > 0 {
+		hreq.Header[DeadlineHeader] = dl
+	}
+	resp, err := f.client.Do(hreq)
+	if err != nil {
+		f.brks[node].Record(false)
+		return false
+	}
+	defer resp.Body.Close()
+	// Any HTTP answer means the backend is alive: a 502 is the shared
+	// origin's trouble and a shed 503 is deliberate — neither should charge
+	// this backend's breaker. Only a 500 (the backend itself broke) does.
+	f.brks[node].Record(resp.StatusCode != http.StatusInternalServerError)
+
+	h := w.Header()
+	for _, key := range relayHeaders {
+		if v := resp.Header[key]; len(v) > 0 {
+			h[key] = v
+		}
+	}
+	w.WriteHeader(resp.StatusCode)
+	buf := getCopyBuf()
+	_, _ = io.CopyBuffer(w, resp.Body, *buf) // client went away; nothing useful to do with the error
+	putCopyBuf(buf)
+	return true
+}
+
+// relayHeaders are the backend response headers the front tier propagates to
+// clients (pre-canonicalized keys for direct map indexing).
+var relayHeaders = []string{
+	"Content-Type",
+	"Content-Length",
+	"X-Cache",
+	PeerHeader,
+	ShedHeader,
+	"Warning",
+	"Retry-After",
+}

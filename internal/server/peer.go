@@ -1,0 +1,251 @@
+package server
+
+// Peer-to-peer cache fill: the cluster layer that lets a miss cost a ~1 ms
+// hop to a ring sibling instead of the ~10-100 ms origin round trip. Every
+// node in a cluster shares the same ordered node list, so each builds an
+// identical consistent-hash ring (lb.Ring) and agrees on which siblings are
+// an object's primary and replica successors. On a DC/origin-bound miss the
+// proxy probes up to Fanout siblings — the nodes most likely to hold the
+// object under front-tier routing — and on a 200 commits the request through
+// the decider exactly like an origin fetch, so the peer fill is journaled as
+// an admit and the object becomes locally resident for the next request.
+//
+// Safety mirrors the origin path: each sibling is gated by its own rolling
+// circuit breaker (a sick or drained peer stops being probed within its
+// breaker window), each probe carries a short deadline, and the
+// X-Darwin-Peer-Hop header is a loop guard — a node answering a probe
+// serves from memory or answers 404; it never forwards the probe onward and
+// never touches the origin on its behalf, so a probe costs at most one hop
+// even in a routing cycle.
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"net/http"
+	"time"
+
+	"darwin/internal/breaker"
+	"darwin/internal/cache"
+	"darwin/internal/lb"
+	"darwin/internal/trace"
+)
+
+// PeerHopHeader marks a request as a peer probe. Its presence is the loop
+// guard: the receiving node answers from its own cache or 404s, and never
+// initiates further peer or origin fetches for it.
+const PeerHopHeader = "X-Darwin-Peer-Hop"
+
+// PeerHeader marks a client response whose miss was filled from a ring
+// sibling instead of the origin.
+const PeerHeader = "X-Darwin-Peer"
+
+// Pre-serialized header values (see body.go for the idiom).
+var (
+	peerHopValue  = []string{"1"}
+	peerFillValue = []string{"fill"}
+)
+
+// PeerConfig wires a proxy into a cluster of siblings.
+type PeerConfig struct {
+	// Self is this node's own entry in Nodes (probes never target it).
+	Self string
+	// Nodes lists every cluster node's base URL in the same order on every
+	// node — the shared ring coordinates.
+	Nodes []string
+	// Fanout is the maximum siblings probed per miss (default 2).
+	Fanout int
+	// FetchTimeout bounds each probe (default 150 ms: a peer hop is only
+	// worth taking when it is much cheaper than the origin).
+	FetchTimeout time.Duration
+	// VirtualNodes per node on the shared ring (default 64).
+	VirtualNodes int
+	// Breaker configures the per-sibling circuit breaker; zero means
+	// DefaultPeerBreaker.
+	Breaker breaker.Config
+	// Client issues probes; nil builds one with the probe timeout.
+	Client *http.Client
+}
+
+// DefaultPeerBreaker returns the per-sibling breaker configuration: trip on
+// a 50% failure rate over a 2 s window and retry a probe after 1 s — fast
+// enough that a SIGTERM-drained sibling stops costing probe timeouts within
+// a couple of windows.
+func DefaultPeerBreaker() breaker.Config {
+	return breaker.Config{
+		Window:           2 * time.Second,
+		Buckets:          8,
+		FailureThreshold: 0.5,
+		MinRequests:      4,
+		OpenFor:          time.Second,
+		HalfOpenProbes:   2,
+	}
+}
+
+// peerSet is the proxy's view of its cluster: the shared ring, sibling
+// breakers, and the probe client. Immutable after SetPeers; the ring is only
+// read through Successors, which is safe for concurrent handlers.
+type peerSet struct {
+	ring    *lb.Ring
+	self    int
+	nodes   []string
+	fanout  int
+	width   int // successors to walk: fanout siblings plus possibly self
+	timeout time.Duration
+	brks    []*breaker.Breaker
+	client  *http.Client
+}
+
+// SetPeers wires the proxy into a peer cluster. Call once before serving
+// traffic (darwin-proxy's -peers flag does).
+func (p *Proxy) SetPeers(cfg PeerConfig) error {
+	if len(cfg.Nodes) < 2 {
+		return fmt.Errorf("server: peer cluster needs >= 2 nodes, got %d", len(cfg.Nodes))
+	}
+	self := -1
+	for i, n := range cfg.Nodes {
+		if n == cfg.Self {
+			self = i
+		}
+	}
+	if self < 0 {
+		return fmt.Errorf("server: peer Self %q not in Nodes", cfg.Self)
+	}
+	if cfg.Fanout <= 0 {
+		cfg.Fanout = 2
+	}
+	if cfg.Fanout > len(cfg.Nodes)-1 {
+		cfg.Fanout = len(cfg.Nodes) - 1
+	}
+	if cfg.FetchTimeout <= 0 {
+		cfg.FetchTimeout = 150 * time.Millisecond
+	}
+	if cfg.Breaker.Window <= 0 {
+		cfg.Breaker = DefaultPeerBreaker()
+	}
+	ring, err := lb.NewRing(lb.Config{
+		Servers:      len(cfg.Nodes),
+		VirtualNodes: cfg.VirtualNodes,
+	})
+	if err != nil {
+		return err
+	}
+	width := cfg.Fanout + 1 // the walk may pass through self
+	if width > len(cfg.Nodes) {
+		width = len(cfg.Nodes)
+	}
+	if width > lb.MaxReplicas {
+		width = lb.MaxReplicas
+	}
+	brks := make([]*breaker.Breaker, len(cfg.Nodes))
+	for i := range brks {
+		brks[i] = breaker.New(cfg.Breaker)
+	}
+	client := cfg.Client
+	if client == nil {
+		client = &http.Client{Timeout: cfg.FetchTimeout}
+	}
+	p.peers = &peerSet{
+		ring:    ring,
+		self:    self,
+		nodes:   cfg.Nodes,
+		fanout:  cfg.Fanout,
+		width:   width,
+		timeout: cfg.FetchTimeout,
+		brks:    brks,
+		client:  client,
+	}
+	return nil
+}
+
+// isPeerProbe reports whether r is a sibling's probe (loop-guard header set).
+func isPeerProbe(r *http.Request) bool {
+	return len(r.Header[PeerHopHeader]) > 0
+}
+
+// servePeerProbe answers a sibling's probe: a residency hit commits through
+// the decider (the served request enters this node's books and traffic mix,
+// exactly like client traffic) and streams from memory; anything else is an
+// immediate 404 — no origin fetch, no further peer hops. This is the
+// cluster's serving fast path (a darwinlint hotpath root): a probe costs a
+// residency check plus the zero-allocation local serve.
+func (p *Proxy) servePeerProbe(w http.ResponseWriter, req trace.Request) {
+	if p.lk != nil {
+		if probe := p.lk.Lookup(req.ID); probe != cache.Miss {
+			res := p.serve(req)
+			p.stats.Add(req.ID, psPeerServed, 1)
+			setXCache(w.Header(), res)
+			p.serveLocal(w, res, req.Size)
+			return
+		}
+	}
+	w.WriteHeader(http.StatusNotFound)
+}
+
+// fetchPeer tries to fill a miss from ring siblings before the origin hop:
+// the object's successor walk names the nodes front-tier routing (and
+// replication) would have sent it to. Probes respect each sibling's breaker;
+// a validated 200 reports success. Returns false when no sibling had the
+// object — the caller falls through to the resilient origin path.
+func (p *Proxy) fetchPeer(ctx context.Context, id uint64, size int64) bool {
+	ps := p.peers
+	var dst [lb.MaxReplicas]int
+	k := ps.ring.Successors(id, dst[:ps.width])
+	tried := 0
+	for i := 0; i < k && tried < ps.fanout; i++ {
+		node := dst[i]
+		if node == ps.self {
+			continue
+		}
+		tried++
+		brk := ps.brks[node]
+		if !brk.Allow() {
+			p.stats.Add(id, psPeerRejects, 1)
+			continue
+		}
+		p.stats.Add(id, psPeerProbes, 1)
+		hit, healthy := ps.probe(ctx, node, id, size)
+		brk.Record(healthy)
+		if !healthy {
+			p.stats.Add(id, psPeerErrors, 1)
+		}
+		if hit {
+			p.stats.Add(id, psPeerFills, 1)
+			return true
+		}
+	}
+	return false
+}
+
+// probe asks one sibling for an object. hit reports residency; healthy
+// feeds the sibling's breaker — a 404 is a healthy answer (the sibling is
+// up, the object just isn't there), while transport errors, non-200/404
+// statuses, and truncated bodies are failures.
+func (ps *peerSet) probe(ctx context.Context, node int, id uint64, size int64) (hit, healthy bool) {
+	ctx, cancel := context.WithTimeout(ctx, ps.timeout)
+	defer cancel()
+	hreq, err := http.NewRequestWithContext(ctx, http.MethodGet, originURL(ps.nodes[node], id, size), nil)
+	if err != nil {
+		return false, false
+	}
+	hreq.Header[PeerHopHeader] = peerHopValue
+	resp, err := ps.client.Do(hreq)
+	if err != nil {
+		return false, false
+	}
+	defer resp.Body.Close()
+	switch resp.StatusCode {
+	case http.StatusOK:
+		n, err := io.Copy(io.Discard, resp.Body)
+		if err != nil || n != size {
+			return false, false
+		}
+		return true, true
+	case http.StatusNotFound:
+		_, _ = io.CopyN(io.Discard, resp.Body, 1<<10) // best-effort drain so the connection can be reused
+		return false, true
+	default:
+		_, _ = io.CopyN(io.Discard, resp.Body, 1<<10) // best-effort drain so the connection can be reused
+		return false, false
+	}
+}

@@ -1,0 +1,176 @@
+package server
+
+import (
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"darwin/internal/baselines"
+	"darwin/internal/cache"
+)
+
+// peerPair builds a 2-node cluster: two resilient sharded proxies over one
+// origin, wired as each other's ring sibling.
+func peerPair(t *testing.T, originURL string) (a, b *Proxy, aSrv, bSrv *httptest.Server) {
+	t.Helper()
+	mk := func() *Proxy {
+		dec, err := baselines.NewStaticSharded(cache.Expert{Freq: 1, MaxSize: 1 << 20},
+			cache.EvalConfig{HOCBytes: 256 << 10, DCBytes: 32 << 20}, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return NewResilientProxy(dec, originURL, 0, fastResilience())
+	}
+	a, b = mk(), mk()
+	aSrv = httptest.NewServer(a)
+	bSrv = httptest.NewServer(b)
+	nodes := []string{aSrv.URL, bSrv.URL}
+	if err := a.SetPeers(PeerConfig{Self: aSrv.URL, Nodes: nodes}); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.SetPeers(PeerConfig{Self: bSrv.URL, Nodes: nodes}); err != nil {
+		t.Fatal(err)
+	}
+	return a, b, aSrv, bSrv
+}
+
+func mustGet(t *testing.T, url string, hdr http.Header) *http.Response {
+	t.Helper()
+	req, err := http.NewRequest(http.MethodGet, url, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k, v := range hdr {
+		req.Header[k] = v
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { resp.Body.Close() })
+	if _, err := io.Copy(io.Discard, resp.Body); err != nil {
+		t.Fatal(err)
+	}
+	return resp
+}
+
+// TestPeerFillServesFromSibling: a miss on node A for an object resident on
+// sibling B is answered via the peer hop — no origin fetch — and the fill is
+// committed through A's decider like an admit, so the object is locally
+// resident afterwards.
+func TestPeerFillServesFromSibling(t *testing.T) {
+	origin := &Origin{}
+	originSrv := httptest.NewServer(origin)
+	defer originSrv.Close()
+	a, b, aSrv, bSrv := peerPair(t, originSrv.URL)
+	defer aSrv.Close()
+	defer bSrv.Close()
+
+	// Warm object 42 on B: the Freq-1 expert admits on the second touch;
+	// the third confirms residency.
+	mustGet(t, bSrv.URL+"/obj/42?size=1000", nil)
+	mustGet(t, bSrv.URL+"/obj/42?size=1000", nil)
+	if resp := mustGet(t, bSrv.URL+"/obj/42?size=1000", nil); resp.Header.Get("X-Cache") == "miss" {
+		t.Fatal("object 42 not resident on B after warm-up")
+	}
+	originReqs, _ := origin.Stats()
+
+	// A has never seen 42: its miss must fill from B, not the origin.
+	resp := mustGet(t, aSrv.URL+"/obj/42?size=1000", nil)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("peer-filled request: status %d", resp.StatusCode)
+	}
+	if got := resp.Header.Get(PeerHeader); got != "fill" {
+		t.Fatalf("peer-fill marker = %q, want %q", got, "fill")
+	}
+	if after, _ := origin.Stats(); after != originReqs {
+		t.Fatalf("peer fill hit the origin: %d -> %d requests", originReqs, after)
+	}
+	st := a.Stats()
+	if st.PeerProbes != 1 || st.PeerFills != 1 {
+		t.Fatalf("A peer stats: probes=%d fills=%d, want 1/1", st.PeerProbes, st.PeerFills)
+	}
+	if bst := b.Stats(); bst.PeerServed != 1 {
+		t.Fatalf("B served %d probes, want 1", bst.PeerServed)
+	}
+
+	// The fill was committed through A's decider (the miss is in its books).
+	if m := a.Metrics(); m.Requests != 1 || m.Misses != 1 {
+		t.Fatalf("peer fill not committed through the decider: %+v", m)
+	}
+	// A second touch fills from B again and — like a second origin miss —
+	// crosses the Freq-1 expert's admission threshold: journaled as an admit.
+	mustGet(t, aSrv.URL+"/obj/42?size=1000", nil)
+	if m := a.Metrics(); m.DCWrites == 0 {
+		t.Fatalf("second peer fill did not admit: %+v", m)
+	}
+	if resp := mustGet(t, aSrv.URL+"/obj/42?size=1000", nil); resp.Header.Get("X-Cache") == "miss" {
+		t.Fatal("object 42 not resident on A after admitted peer fill")
+	}
+	if st := a.Stats(); st.PeerProbes != 2 {
+		t.Fatalf("locally-resident re-request probed a peer: probes=%d, want 2", st.PeerProbes)
+	}
+}
+
+// TestPeerProbeLoopGuard is the satellite requirement: in a 2-node cycle a
+// probe terminates after exactly one hop. A misses, probes B; B — which also
+// misses — must answer 404 without probing back or touching the origin.
+func TestPeerProbeLoopGuard(t *testing.T) {
+	origin := &Origin{}
+	originSrv := httptest.NewServer(origin)
+	a, b, aSrv, bSrv := peerPair(t, originSrv.URL)
+	defer aSrv.Close()
+	defer bSrv.Close()
+	// Kill the origin so a probe loop could not hide behind an origin fill.
+	originSrv.Close()
+
+	resp := mustGet(t, aSrv.URL+"/obj/7?size=100", nil)
+	if resp.StatusCode != http.StatusBadGateway {
+		t.Fatalf("dead origin + cold cluster: status %d, want 502", resp.StatusCode)
+	}
+	ast, bst := a.Stats(), b.Stats()
+	if ast.PeerProbes != 1 {
+		t.Fatalf("A sent %d probes, want exactly 1", ast.PeerProbes)
+	}
+	if bst.PeerProbes != 0 {
+		t.Fatalf("loop guard breached: B probed back %d time(s)", bst.PeerProbes)
+	}
+	if reqs, _ := origin.Stats(); reqs != 0 {
+		t.Fatalf("a peer probe reached the origin: %d requests", reqs)
+	}
+
+	// A probe sent directly to a node is answered 404 (never forwarded),
+	// even though the node's own sibling holds nothing either.
+	probe := mustGet(t, bSrv.URL+"/obj/7?size=100", http.Header{PeerHopHeader: {"1"}})
+	if probe.StatusCode != http.StatusNotFound {
+		t.Fatalf("nonresident probe: status %d, want 404", probe.StatusCode)
+	}
+	if bst := b.Stats(); bst.PeerProbes != 0 {
+		t.Fatalf("probe handling triggered outbound probes: %d", bst.PeerProbes)
+	}
+}
+
+// TestPeerBreakerStopsProbingDeadSibling: once a sibling dies, its breaker
+// opens after a few failed probes and later misses skip the probe entirely.
+func TestPeerBreakerStopsProbingDeadSibling(t *testing.T) {
+	origin := &Origin{}
+	originSrv := httptest.NewServer(origin)
+	defer originSrv.Close()
+	a, _, aSrv, bSrv := peerPair(t, originSrv.URL)
+	defer aSrv.Close()
+	bSrv.Close() // sibling dies immediately
+
+	// MinRequests for the default peer breaker is 4: a handful of misses
+	// trips it, after which probes are rejected without network I/O.
+	for i := 0; i < 12; i++ {
+		mustGet(t, aSrv.URL+"/obj/"+string(rune('0'+i%10))+"?size=50", nil)
+	}
+	st := a.Stats()
+	if st.PeerErrors < 4 {
+		t.Fatalf("dead sibling produced %d probe errors, want >= 4", st.PeerErrors)
+	}
+	if st.PeerRejects == 0 {
+		t.Fatal("sibling breaker never opened: no probe rejects recorded")
+	}
+}

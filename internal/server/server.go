@@ -259,6 +259,11 @@ const (
 	psHedges
 	psHedgeWins
 	psRetryBudgetDenied
+	psPeerProbes
+	psPeerFills
+	psPeerErrors
+	psPeerRejects
+	psPeerServed
 	psWidth
 )
 
@@ -296,6 +301,13 @@ type ProxyStats struct {
 	// RetryBudgetDenied counts retries suppressed by the rolling-window
 	// retry budget (the anti-retry-storm cap).
 	RetryBudgetDenied int64
+	// PeerProbes counts probes sent to ring siblings; PeerFills counts
+	// misses answered by a sibling instead of the origin; PeerErrors counts
+	// failed probes (transport errors, bad statuses, truncated bodies);
+	// PeerRejects counts probes suppressed by an open sibling breaker.
+	PeerProbes, PeerFills, PeerErrors, PeerRejects int64
+	// PeerServed counts sibling probes this node answered with a hit.
+	PeerServed int64
 }
 
 // Proxy is the CDN edge server.
@@ -337,6 +349,10 @@ type Proxy struct {
 	// deterministic, so only membership must be remembered).
 	staleMu sync.Mutex
 	stale   map[uint64]int64 // guarded by staleMu
+
+	// peers is the cluster's peer-fill layer (peer.go); nil outside a
+	// cluster. Immutable after SetPeers.
+	peers *peerSet
 
 	rngMu sync.Mutex
 	rng   *rand.Rand // guarded by rngMu; retry jitter only
@@ -430,6 +446,11 @@ func (p *Proxy) Stats() ProxyStats {
 		Hedges:            v[psHedges],
 		HedgeWins:         v[psHedgeWins],
 		RetryBudgetDenied: v[psRetryBudgetDenied],
+		PeerProbes:        v[psPeerProbes],
+		PeerFills:         v[psPeerFills],
+		PeerErrors:        v[psPeerErrors],
+		PeerRejects:       v[psPeerRejects],
+		PeerServed:        v[psPeerServed],
 	}
 }
 
@@ -448,6 +469,14 @@ func (p *Proxy) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	req := trace.Request{ID: id, Size: size, Time: time.Since(p.start).Microseconds()}
+	if p.peers != nil && isPeerProbe(r) {
+		// A sibling's probe: answered from memory or 404, before the
+		// overload machinery — the probe path is strictly cheaper than the
+		// admission work that would guard it, and must never recurse into
+		// peer or origin fetches (loop guard).
+		p.servePeerProbe(w, req)
+		return
+	}
 	if p.ov.Enabled {
 		// Admission control runs before any cache or origin work: a request
 		// over the in-flight budget is shed for pennies (stale or 503) so
@@ -535,6 +564,26 @@ func (p *Proxy) serveResilient(w http.ResponseWriter, r *http.Request, req trace
 		p.stats.Add(req.ID, psDeadlineSheds, 1)
 		p.shed(w, req, "deadline")
 		return
+	}
+
+	// Peer fill: before paying the origin hop, ask the ring siblings the
+	// front tier would have routed this object to. A validated sibling copy
+	// commits through the decider exactly like a successful origin fetch —
+	// the admit is journaled and the object becomes locally resident.
+	// (Requests carrying the probe header never reach this path, so a
+	// two-node cycle terminates after one hop.)
+	if p.peers != nil {
+		if p.fetchPeer(r.Context(), req.ID, req.Size) {
+			res := cache.Miss
+			if canProbe {
+				res = p.serve(req)
+			}
+			w.Header()[PeerHeader] = peerFillValue
+			setXCache(w.Header(), res)
+			p.serveLocal(w, res, req.Size)
+			p.rememberStale(req.ID, req.Size)
+			return
+		}
 	}
 
 	err := p.fetchResilient(r.Context(), req.ID, req.Size)
