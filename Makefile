@@ -5,7 +5,7 @@
 
 GO ?= go
 
-.PHONY: tier1 vet build test lint lint-audit race fuzz bench microbench profile chaos chaos-crash chaos-cluster
+.PHONY: tier1 vet build test lint lint-audit race fuzz bench microbench profile chaos chaos-crash chaos-cluster chaos-flap
 
 tier1: build vet lint test
 
@@ -34,7 +34,7 @@ lint-audit:
 	$(GO) run ./cmd/darwinlint -audit ./...
 
 race:
-	$(GO) test -race ./internal/server ./internal/lb ./internal/cluster ./internal/cache ./internal/stripe ./internal/par ./internal/core ./internal/exp ./internal/bloom ./internal/bandit ./internal/breaker ./internal/diskcache ./internal/persist
+	$(GO) test -race ./internal/server ./internal/lb ./internal/cluster ./internal/cache ./internal/stripe ./internal/par ./internal/core ./internal/exp ./internal/bloom ./internal/bandit ./internal/breaker ./internal/diskcache ./internal/persist ./internal/gossip
 
 # fuzz runs each fuzz target briefly: URL parsing on the proxy/origin seam,
 # the Bloom filter's uint64/string hash-identity invariants, the durability
@@ -51,6 +51,7 @@ fuzz:
 	$(GO) test ./internal/diskcache -fuzz FuzzDecodeRecord -fuzztime 10s
 	$(GO) test ./internal/diskcache -fuzz FuzzOpenSegment -fuzztime 10s
 	$(GO) test ./internal/core -fuzz FuzzDecodeCheckpoint -fuzztime 10s
+	$(GO) test ./internal/gossip -fuzz FuzzDecodeDigest -fuzztime 10s
 	$(GO) test ./internal/neural -fuzz FuzzUnmarshalNet -fuzztime 10s
 	$(GO) test ./internal/lint -fuzz FuzzParseIgnoreDirective -fuzztime 10s
 	$(GO) test ./internal/lint -fuzz FuzzParseGuardedBy -fuzztime 10s
@@ -87,3 +88,11 @@ chaos-crash:
 chaos-cluster:
 	$(GO) run ./cmd/experiments -only cluster
 	DARWIN_CLUSTER_PROC=1 $(GO) test ./cmd/darwin-front -run TestClusterDrainProcess -v
+
+# chaos-flap is the self-healing membership suite: the deterministic flap /
+# asymmetric-partition / drain-handoff experiment on simulated clocks, then
+# the real-process test that SIGTERM-drains a 2-node cluster's donor and
+# asserts its ring successor inherits the working set through POST /state.
+chaos-flap:
+	$(GO) run ./cmd/experiments -only flap
+	DARWIN_FLAP_PROC=1 $(GO) test ./cmd/darwin-proxy -run TestDrainHandoffProcess -v

@@ -41,6 +41,7 @@ import (
 	"darwin/internal/diskcache"
 	"darwin/internal/exp"
 	"darwin/internal/features"
+	"darwin/internal/gossip"
 	"darwin/internal/par"
 	"darwin/internal/persist"
 	"darwin/internal/server"
@@ -131,7 +132,7 @@ func main() {
 	var (
 		out         = flag.String("out", "", "output JSON path; empty selects BENCH_<date>.json, \"-\" skips the JSON write")
 		parallelism = flag.Int("parallelism", runtime.NumCPU(), "worker count for the parallel side of sweep comparisons")
-		only        = flag.String("only", "", "comma-separated sections to run: micro,durability,sweeps,proxy,matrix,overload,cluster (empty = all)")
+		only        = flag.String("only", "", "comma-separated sections to run: micro,gossip,durability,sweeps,proxy,matrix,overload,cluster (empty = all)")
 		cpuProfile  = flag.String("cpuprofile", "", "write a CPU profile covering the selected sections to this path")
 		memProfile  = flag.String("memprofile", "", "write a heap profile taken after the selected sections to this path")
 	)
@@ -191,6 +192,20 @@ func main() {
 			micro("bloom-test-and-add-u64", benchBloom(tr)),
 		)
 		for _, m := range rep.Micro {
+			fmt.Printf("  %-28s %10.1f ns/op  %4d allocs/op  %8.0f ops/s\n",
+				m.Name, m.NsPerOp, m.AllocsPerOp, m.OpsPerSec)
+		}
+	}
+
+	if want("gossip") {
+		fmt.Println("\n== gossip (membership digest wire costs, per probe) ==")
+		gm := []Micro{
+			micro("gossip-digest-append", benchDigestAppend(16)),
+			micro("gossip-digest-decode", benchDigestDecode(16)),
+			micro("gossip-digest-merge", benchDigestMerge(16)),
+		}
+		rep.Micro = append(rep.Micro, gm...)
+		for _, m := range gm {
 			fmt.Printf("  %-28s %10.1f ns/op  %4d allocs/op  %8.0f ops/s\n",
 				m.Name, m.NsPerOp, m.AllocsPerOp, m.OpsPerSec)
 		}
@@ -423,6 +438,71 @@ func benchBloom(tr *trace.Trace) testing.BenchmarkResult {
 		b.ResetTimer()
 		for i := 0; i < b.N; i++ {
 			f.TestAndAddU64(reqs[i%len(reqs)].ID)
+		}
+	})
+}
+
+// benchEntries builds a nodes-wide digest entry set with live sequences.
+func benchEntries(nodes int) []gossip.Entry {
+	entries := make([]gossip.Entry, nodes)
+	for i := range entries {
+		entries[i] = gossip.Entry{Node: uint16(i), Seq: uint64(1000 + i), Status: uint8(gossip.Alive)}
+	}
+	return entries
+}
+
+// benchDigestAppend times encoding one digest — the cost added to every peer
+// probe and /gossip answer. Must be allocation-free on a warm buffer.
+func benchDigestAppend(nodes int) testing.BenchmarkResult {
+	return testing.Benchmark(func(b *testing.B) {
+		entries := benchEntries(nodes)
+		buf := gossip.AppendDigest(nil, 0, entries)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			buf = gossip.AppendDigest(buf[:0], 0, entries)
+		}
+	})
+}
+
+// benchDigestDecode times parsing one digest off the wire — the receive-side
+// cost on the probe path. Must be allocation-free on a warm entry slice.
+func benchDigestDecode(nodes int) testing.BenchmarkResult {
+	return testing.Benchmark(func(b *testing.B) {
+		wire := gossip.AppendDigest(nil, 0, benchEntries(nodes))
+		dst := make([]gossip.Entry, 0, nodes)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, _, err := gossip.DecodeDigest(wire, dst[:0]); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// benchDigestMerge times folding a decoded digest into a membership — the
+// detector bookkeeping per probe (sequence advance + phi sample push).
+func benchDigestMerge(nodes int) testing.BenchmarkResult {
+	return testing.Benchmark(func(b *testing.B) {
+		now := time.Unix(0, 0)
+		memb, err := gossip.New(gossip.Config{
+			Nodes: nodes,
+			Self:  -1,
+			Clock: func() time.Time { return now },
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		entries := benchEntries(nodes)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			for j := range entries {
+				entries[j].Seq++
+			}
+			now = now.Add(250 * time.Millisecond)
+			memb.Merge(0, entries)
 		}
 	})
 }

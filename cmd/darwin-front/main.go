@@ -34,7 +34,8 @@ func main() {
 		loadFactor = flag.Float64("load-factor", 0.25, "bounded-loads ε: per-window budget headroom before spilling")
 		rebalance  = flag.Int("rebalance-every", 10_000, "requests per rebalance window (weights, budgets, replication factors refresh at boundaries)")
 		attempts   = flag.Int("attempts", 3, "max distinct backends tried per request (failover)")
-		probeEvery = flag.Duration("probe-every", 250*time.Millisecond, "/readyz poll period")
+		probeEvery = flag.Duration("probe-every", 250*time.Millisecond, "readiness poll period")
+		gossipOn   = flag.Bool("gossip", true, "graded membership via /gossip digests (falls back to binary /readyz per backend)")
 
 		repTopK  = flag.Int("rep-top-k", 16, "max hot objects holding extra replicas per window")
 		repMax   = flag.Int("rep-max-factor", 3, "replication factor cap per object")
@@ -55,6 +56,7 @@ func main() {
 		RebalanceEvery: *rebalance,
 		Attempts:       *attempts,
 		ProbeEvery:     *probeEvery,
+		DisableGossip:  !*gossipOn,
 		Replication: lb.ReplicationConfig{
 			TopK:      *repTopK,
 			MaxFactor: *repMax,
@@ -79,6 +81,16 @@ func main() {
 			st.Requests, st.Relayed, st.Failovers, st.BreakerRejects, st.NoBackend, st.Replicated, front.Window())
 		for i, wt := range front.Weights() {
 			fmt.Fprintf(w, "backend_weight{node=%d} %g\n", i, wt)
+		}
+		for i := range nodes {
+			timeouts, refused := front.ProbeStats(i)
+			fmt.Fprintf(w, "backend_status{node=%d} %s\nprobe_timeout{node=%d} %d\nprobe_refused{node=%d} %d\n",
+				i, front.MembershipStatus(i), i, timeouts, i, refused)
+		}
+		if memb := front.Membership(); memb != nil {
+			for i := range nodes {
+				fmt.Fprintf(w, "gossip_phi{node=%d} %.3f\n", i, memb.Phi(i))
+			}
 		}
 		var rs [lb.RsWidth]int64
 		front.ReplicationStats(rs[:])

@@ -61,11 +61,14 @@ func main() {
 		coalesce     = flag.Bool("coalesce", true, "single-flight coalescing of concurrent misses")
 		serveStale   = flag.Bool("serve-stale", true, "serve previously-seen objects stale when the origin is down")
 		drain        = flag.Duration("drain", 10*time.Second, "graceful shutdown drain deadline")
+		lameDuck     = flag.Duration("lame-duck", 300*time.Millisecond, "keep serving after readyz/gossip flip to 503 so probers observe the drain verdict before the listener closes")
 
 		peers       = flag.String("peers", "", "comma-separated cluster node base URLs (enables peer cache fill; must include -self)")
 		self        = flag.String("self", "", "this node's own entry in -peers")
 		peerFanout  = flag.Int("peer-fanout", 2, "max ring siblings probed per miss")
 		peerTimeout = flag.Duration("peer-timeout", 150*time.Millisecond, "per-sibling probe deadline")
+		gossipOn    = flag.Bool("gossip", true, "SWIM-style membership: piggyback heartbeat digests on peer probes and serve /gossip")
+		handoffOn   = flag.Bool("handoff", true, "serve /state and push learned state to the ring successor on drain")
 
 		overload       = flag.Bool("overload", true, "enable the overload-protection layer (breaker, admission, deadlines, hedging)")
 		maxInflight    = flag.Int64("max-inflight", 512, "admission control: max concurrently admitted requests (0 = unlimited)")
@@ -193,16 +196,24 @@ func main() {
 		RetryBudget:       *retryBudget,
 	}
 	proxy := server.NewOverloadProxy(dec, *origin, *dcLatency, res, ov)
-	if *peers != "" {
+	clustered := *peers != ""
+	if clustered {
 		if err := proxy.SetPeers(server.PeerConfig{
-			Self:         *self,
-			Nodes:        strings.Split(*peers, ","),
-			Fanout:       *peerFanout,
-			FetchTimeout: *peerTimeout,
+			Self:          *self,
+			Nodes:         strings.Split(*peers, ","),
+			Fanout:        *peerFanout,
+			FetchTimeout:  *peerTimeout,
+			DisableGossip: !*gossipOn,
 		}); err != nil {
 			fatal(err)
 		}
-		fmt.Fprintf(os.Stderr, "darwin-proxy: peer fill over %s (self %s)\n", *peers, *self)
+		fmt.Fprintf(os.Stderr, "darwin-proxy: peer fill over %s (self %s, gossip=%v)\n", *peers, *self, *gossipOn)
+		if *handoffOn && shEng != nil {
+			proxy.EnableStateHandoff(server.StateHandoff{
+				Provide: handoffProvider(shEng, ctrl, model),
+				Accept:  handoffAcceptor(shEng, ctrl),
+			})
+		}
 	}
 	gates := []server.Gate{{Name: "breaker", Ready: proxy.Ready}}
 	if dur != nil {
@@ -216,6 +227,19 @@ func main() {
 	mux.Handle("/obj/", proxy)
 	mux.HandleFunc("/healthz", health.Healthz)
 	mux.HandleFunc("/readyz", health.Readyz)
+	if clustered {
+		// /gossip is drain-gated: a draining node answers 503, which the
+		// front tier reads as an explicit "stop routing here" — immediate
+		// weight shed, no waiting for phi to accrue.
+		mux.HandleFunc("/gossip", func(w http.ResponseWriter, r *http.Request) {
+			if health.Draining() {
+				http.Error(w, "draining", http.StatusServiceUnavailable)
+				return
+			}
+			proxy.ServeGossip(w, r)
+		})
+		mux.HandleFunc("/state", proxy.ServeState)
+	}
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
 		m := proxy.Metrics()
 		st := proxy.Stats()
@@ -227,6 +251,17 @@ func main() {
 			st.Shed, st.DeadlineSheds, st.BreakerRejects, st.Hedges, st.HedgeWins, st.RetryBudgetDenied)
 		fmt.Fprintf(w, "peer_probes %d\npeer_fills %d\npeer_errors %d\npeer_rejects %d\npeer_served %d\n",
 			st.PeerProbes, st.PeerFills, st.PeerErrors, st.PeerRejects, st.PeerServed)
+		fmt.Fprintf(w, "peer_skips_dead %d\ngossip_exchanges %d\nstate_merges %d\nstate_rejects %d\nstate_pushes %d\n",
+			st.PeerSkipsDead, st.GossipExchanges, st.StateMerges, st.StateRejects, st.StatePushes)
+		if memb := proxy.Membership(); memb != nil {
+			for i := 0; i < memb.Nodes(); i++ {
+				if i == memb.Self() {
+					continue
+				}
+				fmt.Fprintf(w, "gossip_peer_status{node=%d} %d\ngossip_peer_phi{node=%d} %.3f\n",
+					i, memb.Status(i), i, memb.Phi(i))
+			}
+		}
 		if bs, ok := proxy.BreakerSnapshot(); ok {
 			fmt.Fprintf(w, "breaker_state %s\nbreaker_opens %d\nbreaker_half_opens %d\nbreaker_reopens %d\nbreaker_closes %d\nbreaker_denied %d\nbreaker_probes %d\n",
 				bs.State, bs.Opens, bs.HalfOpens, bs.Reopens, bs.Closes, bs.Denied, bs.Probes)
@@ -259,8 +294,20 @@ func main() {
 		IdleTimeout:       60 * time.Second,
 	}
 	fmt.Fprintf(os.Stderr, "darwin-proxy: %s mode, listening on %s, origin %s (shards=%d, resilient=%v, overload=%v)\n", *mode, *addr, *origin, *shards, *resilient, *overload)
-	if err := runServer(srv, *drain, health); err != nil {
+	if err := runServer(srv, *drain, *lameDuck, health); err != nil {
 		fatal(err)
+	}
+	if clustered && *handoffOn && shEng != nil {
+		// The server has drained, so the state below is quiesced — hand it to
+		// the ring successor (the node inheriting this keyspace). Best
+		// effort: a dead or refusing successor just starts cold, as before.
+		hctx, hcancel := context.WithTimeout(context.Background(), *drain)
+		if succ, err := proxy.PushStateToSuccessor(hctx, nil); err != nil {
+			fmt.Fprintf(os.Stderr, "darwin-proxy: state handoff skipped: %v\n", err)
+		} else {
+			fmt.Fprintf(os.Stderr, "darwin-proxy: state handed off to ring successor %d\n", succ)
+		}
+		hcancel()
 	}
 	if dur != nil {
 		// The server has drained: capture a final quiesced checkpoint and
@@ -280,9 +327,13 @@ func boolToInt(b bool) int {
 }
 
 // runServer serves until SIGINT/SIGTERM, then runs the health-gated drain:
-// /readyz flips to 503 first (the balancer stops routing new work here), and
-// only then are in-flight connections drained for up to the given deadline.
-func runServer(srv *http.Server, drain time.Duration, health *server.Health) error {
+// /readyz and /gossip flip to 503 first, the lame-duck window keeps the
+// listener open so probers actually observe that explicit verdict (an
+// immediate Shutdown would close the listener and make a graceful drain look
+// like a crash — refused probes — which the graded membership layer
+// deliberately sheds slowly), and only then are in-flight connections
+// drained for up to the given deadline.
+func runServer(srv *http.Server, drain, lameDuck time.Duration, health *server.Health) error {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 	errc := make(chan error, 1)
@@ -294,6 +345,9 @@ func runServer(srv *http.Server, drain time.Duration, health *server.Health) err
 	}
 	health.StartDrain()
 	fmt.Fprintln(os.Stderr, "darwin-proxy: draining (readyz now 503), shutting down...")
+	if lameDuck > 0 {
+		time.Sleep(lameDuck)
+	}
 	sctx, cancel := context.WithTimeout(context.Background(), drain)
 	defer cancel()
 	if err := srv.Shutdown(sctx); err != nil {

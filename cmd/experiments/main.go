@@ -248,6 +248,14 @@ func main() {
 			emit(rep)
 			return nil
 		}},
+		{"flap", func() error {
+			rep, err := exp.FlapReport(exp.DefaultFlapConfig())
+			if err != nil {
+				return err
+			}
+			emit(rep)
+			return nil
+		}},
 		{"overload", func() error {
 			oc := exp.DefaultOverloadConfig()
 			oc.Prototype.Shards = *shards

@@ -294,6 +294,48 @@ func (h *Hierarchy) RestoreDC(entries []ResidentObject) error {
 	return nil
 }
 
+// MergeDC folds another node's resident set into this hierarchy's DC — the
+// drain-handoff merge: each donor entry not already resident (either level)
+// is admitted through the normal DC eviction path, evicting local victims
+// when capacity demands it, exactly as if the inherited traffic had already
+// re-fetched it. Entries are validated in full before anything is mutated.
+// Given in victim-first order, donor protection order is preserved. Admits
+// are journaled (the DC log must reflect DC contents) but charge no metrics:
+// a handoff is a transfer, not traffic. Returns how many entries were
+// admitted.
+func (h *Hierarchy) MergeDC(entries []ResidentObject) (int, error) {
+	for _, e := range entries {
+		if e.Size <= 0 {
+			return 0, fmt.Errorf("cache: merge entry %d has size %d", e.ID, e.Size)
+		}
+	}
+	added := 0
+	for _, e := range entries {
+		if e.Size > h.dcCap || h.hoc.Contains(e.ID) || h.dc.Contains(e.ID) {
+			continue
+		}
+		for h.dc.Bytes()+e.Size > h.dcCap {
+			vid, _, ok := h.dc.Victim()
+			if !ok {
+				break
+			}
+			h.dc.Remove(vid)
+			if h.dclog != nil {
+				h.dclog.Remove(vid)
+			}
+		}
+		if h.dc.Bytes()+e.Size > h.dcCap {
+			continue
+		}
+		h.dc.Insert(e.ID, e.Size)
+		if h.dclog != nil {
+			h.dclog.Put(e.ID, e.Size)
+		}
+		added++
+	}
+	return added, nil
+}
+
 // ShardedState is the serialisable form of a Sharded engine: one
 // HierarchyState per shard, in shard order.
 type ShardedState struct {
@@ -347,6 +389,38 @@ func (s *Sharded) RestoreState(st *ShardedState) error {
 		sh.mu.Unlock()
 	}
 	return nil
+}
+
+// MergeDC folds a donor node's resident set into the engine — the
+// drain-handoff merge — routing each entry to its owning shard and merging
+// under the shard lock. All entries are validated before any shard is
+// mutated. Returns the total entries admitted.
+func (s *Sharded) MergeDC(entries []ResidentObject) (int, error) {
+	for _, e := range entries {
+		if e.Size <= 0 {
+			return 0, fmt.Errorf("cache: merge entry %d has size %d", e.ID, e.Size)
+		}
+	}
+	perShard := make([][]ResidentObject, len(s.shards))
+	for _, e := range entries {
+		i := s.route(e.ID)
+		perShard[i] = append(perShard[i], e)
+	}
+	added := 0
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.Lock()
+		n, err := sh.h.MergeDC(perShard[i])
+		if err == nil {
+			sh.publishLocked()
+		}
+		sh.mu.Unlock()
+		if err != nil {
+			return added, fmt.Errorf("cache: shard %d: %w", i, err)
+		}
+		added += n
+	}
+	return added, nil
 }
 
 // RestoreDC reconciles every shard's DC against a journal live set (given

@@ -320,3 +320,123 @@ func TestDCLogJournalHooks(t *testing.T) {
 		t.Fatal("RestoreDC wrote to the journal")
 	}
 }
+
+// TestMergeDC: the drain-handoff merge admits donor residents the inheritor
+// lacks, skips ones it already holds, evicts locals only under capacity
+// pressure, and rejects invalid entries without mutating anything.
+func TestMergeDC(t *testing.T) {
+	cfg := newStateTestConfig()
+	donor, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inheritor, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	serveSynthetic(t, donor, 20_000, 0x9e3779b97f4a7c15)
+	serveSynthetic(t, inheritor, 20_000, 0x123456789abcdef)
+
+	st, err := donor.State()
+	if err != nil {
+		t.Fatal(err)
+	}
+	entries := append(append([]ResidentObject{}, st.HOC...), st.DC...)
+	if len(entries) == 0 {
+		t.Fatal("donor has no residents to merge")
+	}
+
+	// An invalid entry must reject the whole merge without touching state.
+	preBytes, preLen := inheritor.DCBytes(), inheritor.DCLen()
+	bad := append(append([]ResidentObject{}, entries...), ResidentObject{ID: 999999, Size: 0})
+	if _, err := inheritor.MergeDC(bad); err == nil {
+		t.Fatal("zero-size merge entry accepted")
+	}
+	if inheritor.DCBytes() != preBytes || inheritor.DCLen() != preLen {
+		t.Fatal("rejected merge mutated the inheritor")
+	}
+
+	added, err := inheritor.MergeDC(entries)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if added == 0 {
+		t.Fatal("merge admitted nothing")
+	}
+	for _, e := range entries {
+		if e.Size > cfg.DCBytes {
+			continue
+		}
+		if inheritor.Lookup(e.ID) == Miss {
+			// Capacity pressure may have evicted the least-protected; the
+			// donor's most-protected tail (end of the victim-first list) must
+			// survive.
+			continue
+		}
+	}
+	// The most-protected donor DC resident is resident on the inheritor.
+	if n := len(st.DC); n > 0 {
+		if inheritor.Lookup(st.DC[n-1].ID) == Miss {
+			t.Fatalf("most-protected donor object %d not resident after merge", st.DC[n-1].ID)
+		}
+	}
+	if inheritor.DCBytes() > cfg.DCBytes {
+		t.Fatalf("merge overflowed DC: %d > %d", inheritor.DCBytes(), cfg.DCBytes)
+	}
+	// A merge that fits entirely is idempotent: re-merging admits nothing.
+	cold, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	small := []ResidentObject{{ID: 1, Size: 100}, {ID: 2, Size: 200}, {ID: 3, Size: 300}}
+	if n, err := cold.MergeDC(small); err != nil || n != 3 {
+		t.Fatalf("small merge: n=%d err=%v", n, err)
+	}
+	if n, err := cold.MergeDC(small); err != nil || n != 0 {
+		t.Fatalf("re-merge: n=%d err=%v, want 0 admits", n, err)
+	}
+}
+
+// TestShardedMergeDC: entries route to their owning shards and the merged
+// engine answers lookups for donor residents.
+func TestShardedMergeDC(t *testing.T) {
+	cfg := newStateTestConfig()
+	cfg.DCBytes = 4 << 20 // roomy: the whole donor set fits, no merge churn
+	donor, err := NewSharded(cfg, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inheritor, err := NewSharded(cfg, 2) // shard counts need not match
+	if err != nil {
+		t.Fatal(err)
+	}
+	serveSynthetic(t, donor, 20_000, 0x9e3779b97f4a7c15)
+
+	st, err := donor.State()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var entries []ResidentObject
+	for _, sh := range st.Shards {
+		entries = append(entries, sh.HOC...)
+		entries = append(entries, sh.DC...)
+	}
+	added, err := inheritor.MergeDC(entries)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Everything fits: each unique donor object (an id can appear in both
+	// HOC and DC lists) is admitted exactly once and answers lookups.
+	unique := map[uint64]bool{}
+	for _, e := range entries {
+		unique[e.ID] = true
+	}
+	if added != len(unique) {
+		t.Fatalf("cold inheritor admitted %d entries, want %d unique", added, len(unique))
+	}
+	for id := range unique {
+		if inheritor.Lookup(id) == Miss {
+			t.Fatalf("donor object %d not resident after sharded merge", id)
+		}
+	}
+}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"bytes"
 	"encoding/json"
 	"fmt"
 	"math"
@@ -271,6 +272,33 @@ func LoadCheckpoint(path string) (*Checkpoint, error) {
 	if os.IsNotExist(err) {
 		return nil, nil
 	}
+	if err != nil {
+		return nil, err
+	}
+	return DecodeCheckpoint(payload)
+}
+
+// EncodeCheckpointFrame serialises a checkpoint into the same framed,
+// checksummed byte stream SaveCheckpoint writes to disk — the wire format of
+// the /state drain handoff: a DRWNCKPT frame whose CRC lets the receiving
+// node validate the whole transfer before touching any live state.
+func EncodeCheckpointFrame(ck *Checkpoint) ([]byte, error) {
+	payload, err := EncodeCheckpoint(ck)
+	if err != nil {
+		return nil, err
+	}
+	var buf bytes.Buffer
+	if err := persist.EncodeFrame(&buf, CheckpointMagic, CheckpointFormatVersion, payload); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// DecodeCheckpointFrame parses a framed checkpoint produced by
+// EncodeCheckpointFrame (or read from a SaveCheckpoint file). Framing damage
+// returns a typed *persist.FormatError; nothing panics.
+func DecodeCheckpointFrame(data []byte) (*Checkpoint, error) {
+	payload, err := persist.DecodeFrame(bytes.NewReader(data), CheckpointMagic, CheckpointFormatVersion)
 	if err != nil {
 		return nil, err
 	}

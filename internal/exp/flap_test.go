@@ -1,0 +1,92 @@
+package exp
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestFlapAcceptance pins the PR's three self-healing acceptance bars, all on
+// simulated clocks:
+//
+//  1. a 1 s up / 1 s down flapper never sheds full ring weight under the
+//     graded detector, versus >= 3 full sheds under the binary verdict;
+//  2. an asymmetric partition of the front's probe path keeps cluster OHR at
+//     >= 90% of the pre-fault level with zero client 5xx, because relayed
+//     digests keep the partitioned node routable;
+//  3. the drain handoff warms the inheritor to >= 95% of the donor's OHR
+//     within one window, versus >= 4 windows (or never) cold.
+func TestFlapAcceptance(t *testing.T) {
+	fc := DefaultFlapConfig()
+	res, err := RunFlap(fc)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Arm 1: flap detector.
+	if res.Graded.FullSheds != 0 {
+		t.Errorf("graded detector shed full weight %d times for a flapping node, want 0", res.Graded.FullSheds)
+	}
+	if res.Binary.FullSheds < 3 {
+		t.Errorf("binary verdict shed only %d times, want >= 3 (the contrast arm)", res.Binary.FullSheds)
+	}
+	if res.Graded.SuspectSpells == 0 {
+		t.Error("graded detector never even suspected the flapper; the arm is not exercising phi")
+	}
+	if res.Graded.PeakPhi >= 8 {
+		t.Errorf("peak phi %.2f reached the dead threshold; hysteresis should never get there on a 1s flap", res.Graded.PeakPhi)
+	}
+
+	// Arm 2: asymmetric partition.
+	if res.Gossip.Retention < 0.9 {
+		t.Errorf("gossip arm OHR retention %.4f < 0.9 (pre %.4f, fault %.4f)",
+			res.Gossip.Retention, res.Gossip.PreOHR, res.Gossip.FaultOHR)
+	}
+	if res.Gossip.Client5xx != 0 {
+		t.Errorf("gossip arm saw %d client 5xx, want 0", res.Gossip.Client5xx)
+	}
+	if res.Gossip.ShedWindows != 0 {
+		t.Errorf("gossip arm shed the partitioned node for %d windows, want 0 (relayed heartbeats)", res.Gossip.ShedWindows)
+	}
+	if res.Readyz.ShedWindows == 0 {
+		t.Error("binary arm never shed the partitioned node; the partition is not biting")
+	}
+	if res.Readyz.Retention > res.Gossip.Retention {
+		t.Errorf("binary arm retained more OHR (%.4f) than gossip (%.4f); shedding should cost locality",
+			res.Readyz.Retention, res.Gossip.Retention)
+	}
+
+	// Arm 3: drain handoff.
+	if res.Handoff.WarmWindows != 1 {
+		t.Errorf("warm inheritor took %d windows to reach 95%% of donor OHR, want 1", res.Handoff.WarmWindows)
+	}
+	if res.Handoff.ColdWindows != 0 && res.Handoff.ColdWindows < 4 {
+		t.Errorf("cold inheritor warmed in %d windows, want >= 4 or never", res.Handoff.ColdWindows)
+	}
+	if res.Handoff.WarmFirstOHR <= res.Handoff.ColdFirstOHR {
+		t.Errorf("warm first-window OHR %.4f <= cold %.4f; the handoff transferred nothing",
+			res.Handoff.WarmFirstOHR, res.Handoff.ColdFirstOHR)
+	}
+}
+
+// TestFlapReportDeterministic pins byte-reproducibility: two full runs render
+// identically (internal/exp is under the determinism lint rule, and this
+// experiment takes no wall-clock carve-outs — every arm runs on simClock).
+func TestFlapReportDeterministic(t *testing.T) {
+	fc := DefaultFlapConfig()
+	a, err := FlapReport(fc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := FlapReport(fc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.String() != b.String() {
+		t.Fatalf("flap report not byte-reproducible:\n--- run 1 ---\n%s\n--- run 2 ---\n%s", a, b)
+	}
+	for _, want := range []string{"full-weight sheds", "ohr retention", "windows to 95%", "client 5xx"} {
+		if !strings.Contains(a.String(), want) {
+			t.Fatalf("report missing %q:\n%s", want, a)
+		}
+	}
+}

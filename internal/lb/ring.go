@@ -324,3 +324,38 @@ func (r *Ring) successorsAt(start int, dst []int) int {
 func (r *Ring) Successors(id uint64, dst []int) int {
 	return r.successorsAt(r.lookupIdx(routeHash(id)), dst)
 }
+
+// SuccessorOf returns the node that inherits the plurality of server's
+// keyspace when it leaves the ring: for each of server's vnodes the next
+// distinct server clockwise takes over that arc, and the most frequent such
+// inheritor (lowest index on ties) is the natural target for a drain-time
+// state handoff. Reads only construction-time state — safe for concurrent
+// callers. Returns -1 on a single-server ring.
+func (r *Ring) SuccessorOf(server int) int {
+	votes := make([]int, r.cfg.Servers)
+	for i := range r.ring {
+		if r.ring[i].server != server {
+			continue
+		}
+		for off := 1; off <= len(r.ring); off++ {
+			j := i + off
+			if j >= len(r.ring) {
+				j -= len(r.ring)
+			}
+			if s := r.ring[j].server; s != server {
+				votes[s]++
+				break
+			}
+		}
+	}
+	best := -1
+	for s, v := range votes {
+		if s == server || v == 0 {
+			continue
+		}
+		if best < 0 || v > votes[best] {
+			best = s
+		}
+	}
+	return best
+}

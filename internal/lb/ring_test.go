@@ -495,3 +495,54 @@ func TestSuccessorsDistinct(t *testing.T) {
 		}
 	}
 }
+
+// TestSuccessorOf: the drain-handoff target is a valid distinct node, is
+// deterministic, and matches a brute-force plurality count over the ring's
+// vnode arcs. A single-server ring has no successor.
+func TestSuccessorOf(t *testing.T) {
+	for _, servers := range []int{2, 3, 6} {
+		r, err := NewRing(Config{Servers: servers, RebalanceEvery: 1 << 30})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for s := 0; s < servers; s++ {
+			got := r.SuccessorOf(s)
+			if got < 0 || got >= servers || got == s {
+				t.Fatalf("servers=%d: SuccessorOf(%d) = %d", servers, s, got)
+			}
+			if again := r.SuccessorOf(s); again != got {
+				t.Fatalf("servers=%d: SuccessorOf(%d) nondeterministic: %d then %d", servers, s, got, again)
+			}
+			// Brute force: count, per vnode of s, the next distinct server.
+			votes := make(map[int]int)
+			for i := range r.ring {
+				if r.ring[i].server != s {
+					continue
+				}
+				for off := 1; off <= len(r.ring); off++ {
+					j := (i + off) % len(r.ring)
+					if r.ring[j].server != s {
+						votes[r.ring[j].server]++
+						break
+					}
+				}
+			}
+			best, bestV := -1, 0
+			for cand := 0; cand < servers; cand++ {
+				if v := votes[cand]; v > bestV {
+					best, bestV = cand, v
+				}
+			}
+			if got != best {
+				t.Fatalf("servers=%d: SuccessorOf(%d) = %d, brute force says %d (votes %v)", servers, s, got, best, votes)
+			}
+		}
+	}
+	single, err := NewRing(Config{Servers: 1, RebalanceEvery: 1 << 30})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := single.SuccessorOf(0); got != -1 {
+		t.Fatalf("single-server SuccessorOf = %d, want -1", got)
+	}
+}

@@ -116,6 +116,7 @@ func DefaultConfig() Config {
 			"darwin/internal/bandit",
 			"darwin/internal/neural",
 			"darwin/internal/cluster",
+			"darwin/internal/gossip",
 		},
 		HotPathRoots: []string{
 			"darwin/internal/cache.Hierarchy.Serve",
@@ -131,6 +132,7 @@ func DefaultConfig() Config {
 			"darwin/internal/breaker",
 			"darwin/internal/diskcache",
 			"darwin/internal/exp",
+			"darwin/internal/gossip",
 			"darwin/internal/lb",
 			"darwin/internal/persist",
 			"darwin/internal/server",
@@ -158,6 +160,7 @@ func DefaultConfig() Config {
 			"darwin/internal/server",
 			"darwin/internal/par",
 			"darwin/internal/core",
+			"darwin/internal/gossip",
 			"darwin/internal/lb",
 			"darwin/internal/cluster",
 			"darwin/cmd/darwin-proxy",

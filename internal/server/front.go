@@ -24,15 +24,19 @@ package server
 // hotpath root. Relaying streams through the shared pooled copy buffers.
 
 import (
+	"bytes"
 	"context"
+	"errors"
 	"fmt"
 	"io"
+	"net"
 	"net/http"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"darwin/internal/breaker"
+	"darwin/internal/gossip"
 	"darwin/internal/lb"
 	"darwin/internal/stripe"
 )
@@ -58,12 +62,21 @@ type FrontConfig struct {
 	// Attempts bounds failover: how many distinct ring candidates one
 	// request may try (default 3, capped at len(Backends)).
 	Attempts int
-	// ProbeEvery is the /readyz poll period (default 250 ms).
+	// ProbeEvery is the readiness poll period (default 250 ms).
 	ProbeEvery time.Duration
-	// ProbeTimeout bounds each /readyz poll (default ProbeEvery).
+	// ProbeTimeout bounds each readiness poll (default ProbeEvery).
 	ProbeTimeout time.Duration
 	// Client relays requests; nil builds a pooled default.
 	Client *http.Client
+	// DisableGossip reverts the prober to the binary /readyz verdict. The
+	// zero value probes /gossip first: backends that answer it get the
+	// graded phi-accrual weight (alive 1, suspect ½, dead 0), and backends
+	// that 404/405 it fall back to binary /readyz permanently.
+	DisableGossip bool
+	// Gossip tunes the failure detector (thresholds, dwell, clock). Nodes
+	// and Self (-1: the front is an observer) are overwritten; a nil Clock
+	// means time.Now, and HeartbeatEvery defaults to ProbeEvery.
+	Gossip gossip.Config
 }
 
 // Front-tier stat indexes (stripe counters, same idiom as the proxy's ps*).
@@ -104,10 +117,31 @@ type Front struct {
 	ring *lb.Ring
 	rep  *lb.Replicator
 
-	// ready mirrors each backend's last /readyz answer; written by the
+	// ready mirrors each backend's last binary probe answer; written by the
 	// prober, read (atomically) by the ring's readiness hook at window
-	// boundaries and by the failover loop.
+	// boundaries. In gossip mode it only matters for backends the detector
+	// has never heard from (a backend dead at boot emits no heartbeats, so
+	// phi stays 0 and only the binary verdict can shed it).
 	ready []atomic.Bool
+
+	// memb is the graded membership view (nil when DisableGossip). The
+	// prober feeds it from /gossip answers; the readiness hook reads its
+	// weights. gossipOK tracks which backends speak /gossip — a 404/405
+	// flips a backend to the binary /readyz path permanently. declined
+	// marks a backend whose last probe was an explicit non-200 answer (a
+	// drain 503): an answer is a verdict, and sheds immediately, while a
+	// transport silence degrades gradually through the detector.
+	memb     *gossip.Membership
+	gossipOK []atomic.Bool
+	declined []atomic.Bool
+
+	// probeTimeouts / probeRefused classify failed probes per backend: a
+	// deadline-style failure (the backend exists but is slow or wedged)
+	// versus an immediate refusal (nothing is listening). The distinction is
+	// an operator's first diagnostic — wedged wants a restart, refused wants
+	// a deploy check.
+	probeTimeouts []atomic.Int64
+	probeRefused  []atomic.Int64
 
 	brks   []*breaker.Breaker
 	client *http.Client
@@ -136,16 +170,37 @@ func NewFront(cfg FrontConfig) (*Front, error) {
 		cfg.Breaker = DefaultPeerBreaker()
 	}
 	f := &Front{
-		cfg:   cfg,
-		nodes: cfg.Backends,
-		rep:   lb.NewReplicator(cfg.Replication),
-		ready: make([]atomic.Bool, len(cfg.Backends)),
-		brks:  make([]*breaker.Breaker, len(cfg.Backends)),
-		stats: stripe.New(proxyStatStripes, fsWidth),
+		cfg:           cfg,
+		nodes:         cfg.Backends,
+		rep:           lb.NewReplicator(cfg.Replication),
+		ready:         make([]atomic.Bool, len(cfg.Backends)),
+		gossipOK:      make([]atomic.Bool, len(cfg.Backends)),
+		declined:      make([]atomic.Bool, len(cfg.Backends)),
+		probeTimeouts: make([]atomic.Int64, len(cfg.Backends)),
+		probeRefused:  make([]atomic.Int64, len(cfg.Backends)),
+		brks:          make([]*breaker.Breaker, len(cfg.Backends)),
+		stats:         stripe.New(proxyStatStripes, fsWidth),
+	}
+	if !cfg.DisableGossip {
+		gcfg := cfg.Gossip
+		gcfg.Nodes = len(cfg.Backends)
+		gcfg.Self = -1 // the front observes; it emits no heartbeats
+		if gcfg.Clock == nil {
+			gcfg.Clock = time.Now
+		}
+		if gcfg.HeartbeatEvery <= 0 {
+			gcfg.HeartbeatEvery = cfg.ProbeEvery
+		}
+		m, err := gossip.New(gcfg)
+		if err != nil {
+			return nil, err
+		}
+		f.memb = m
 	}
 	for i := range f.brks {
 		f.brks[i] = breaker.New(cfg.Breaker)
-		f.ready[i].Store(true) // optimistic until the first probe says otherwise
+		f.ready[i].Store(true)    // optimistic until the first probe says otherwise
+		f.gossipOK[i].Store(true) // try /gossip first; 404/405 flips to /readyz
 	}
 	ring, err := lb.NewRing(lb.Config{
 		Servers:        len(cfg.Backends),
@@ -168,11 +223,26 @@ func NewFront(cfg FrontConfig) (*Front, error) {
 	return f, nil
 }
 
-// readiness is the ring's per-window weight hook: a backend that failed its
-// last /readyz poll or whose breaker is open sheds its entire ring weight
-// until it recovers.
+// readiness is the ring's per-window weight hook. An open breaker always
+// sheds everything — live relay failures outrank any probe. Past that, a
+// backend the gossip detector has heard from gets the graded verdict: zero
+// if its last probe was an explicit non-200 answer (an answer is a verdict —
+// a draining backend said "stop"), otherwise the phi-accrual weight (alive
+// 1, suspect SuspectWeight, dead 0) — so one slow probe costs a slice of
+// ring weight, never the whole keyspace. Backends outside the detector's
+// view (gossip disabled, unsupported, or never heard from) get the binary
+// /readyz verdict, as before.
 func (f *Front) readiness(window, server int) float64 {
-	if !f.ready[server].Load() || f.brks[server].State() == breaker.Open {
+	if f.brks[server].State() == breaker.Open {
+		return 0
+	}
+	if f.memb != nil && f.gossipOK[server].Load() && f.memb.Heard(server) {
+		if f.declined[server].Load() {
+			return 0
+		}
+		return f.memb.Weight(server)
+	}
+	if !f.ready[server].Load() {
 		return 0
 	}
 	return 1
@@ -194,17 +264,114 @@ func (f *Front) Start(ctx context.Context) {
 	}()
 }
 
-// ProbeOnce polls every backend's /readyz once and updates the readiness
-// mirror. Exported so tests (and the drain experiment) can drive probing
-// deterministically instead of racing a ticker.
+// ProbeOnce polls every backend once and updates the readiness state: a
+// /gossip exchange for gossip-speaking backends (digest out, digest in,
+// graded verdict), /readyz for the rest. Exported so tests (and the drain
+// experiment) can drive probing deterministically instead of racing a
+// ticker.
 func (f *Front) ProbeOnce(ctx context.Context) {
 	for i, n := range f.nodes {
-		f.ready[i].Store(f.probeReadyz(ctx, n))
+		if f.memb != nil && f.gossipOK[i].Load() {
+			switch f.probeGossip(ctx, i, n) {
+			case probeOK:
+				f.ready[i].Store(true)
+				f.declined[i].Store(false)
+			case probeDeclined:
+				f.ready[i].Store(false)
+				f.declined[i].Store(true)
+			case probeSilent:
+				// No answer says nothing new: the graded detector handles
+				// silence, and an earlier explicit decline stays in force (a
+				// drained node that then exits must not climb back to
+				// suspect weight just because refusals replaced 503s).
+				f.ready[i].Store(false)
+			case probeUnsupported:
+				// The backend answered but doesn't serve /gossip (older
+				// build or gossip disabled): binary probing from here on.
+				f.gossipOK[i].Store(false)
+				f.ready[i].Store(f.probeReadyz(ctx, i, n))
+			}
+			continue
+		}
+		f.ready[i].Store(f.probeReadyz(ctx, i, n))
 	}
 }
 
-// probeReadyz reports whether one backend answers /readyz with 200.
-func (f *Front) probeReadyz(ctx context.Context, node string) bool {
+// classifyProbeFailure sorts a probe's transport error into the per-backend
+// timeout/refused counters: deadline-style failures mean the backend exists
+// but is slow or wedged; anything else (connection refused, reset, DNS) is
+// counted as a refusal.
+func (f *Front) classifyProbeFailure(backend int, err error) {
+	var ne net.Error
+	if errors.Is(err, context.DeadlineExceeded) || (errors.As(err, &ne) && ne.Timeout()) {
+		f.probeTimeouts[backend].Add(1)
+	} else {
+		f.probeRefused[backend].Add(1)
+	}
+}
+
+// probeVerdict is one gossip probe's outcome.
+type probeVerdict int
+
+const (
+	// probeOK: a clean 200 digest exchange — proof of life, verdict cleared.
+	probeOK probeVerdict = iota
+	// probeDeclined: an explicit non-200 answer (a drain 503) — an answer is
+	// a verdict, and sheds the backend immediately.
+	probeDeclined
+	// probeSilent: no (usable) answer at all — the graded detector decides.
+	probeSilent
+	// probeUnsupported: the backend answered 404/405 — it doesn't speak
+	// /gossip; fall back to binary /readyz probing.
+	probeUnsupported
+)
+
+// probeGossip runs one digest exchange with a backend: POST the front's
+// observer digest (relaying everything it has heard — the indirect-heartbeat
+// path that keeps partitioned-but-alive nodes alive in everyone's view) and
+// merge the backend's digest from the answer.
+func (f *Front) probeGossip(ctx context.Context, backend int, node string) probeVerdict {
+	ctx, cancel := context.WithTimeout(ctx, f.cfg.ProbeTimeout)
+	defer cancel()
+	out := gossip.AppendDigest(nil, -1, f.memb.Digest(nil))
+	hreq, err := http.NewRequestWithContext(ctx, http.MethodPost, node+"/gossip", bytes.NewReader(out))
+	if err != nil {
+		return probeSilent
+	}
+	hreq.Header["Content-Type"] = octetStreamValue
+	resp, err := f.client.Do(hreq)
+	if err != nil {
+		f.classifyProbeFailure(backend, err)
+		return probeSilent
+	}
+	defer resp.Body.Close()
+	switch resp.StatusCode {
+	case http.StatusOK:
+		body, rerr := io.ReadAll(io.LimitReader(resp.Body, maxGossipBytes))
+		if rerr != nil {
+			f.classifyProbeFailure(backend, rerr)
+			return probeSilent
+		}
+		sender, entries, derr := gossip.DecodeDigest(body, nil)
+		if derr != nil {
+			// Answered garbage: no proof of life, but not a refusal either —
+			// let the detector's phi make the call.
+			return probeSilent
+		}
+		f.memb.Merge(sender, entries)
+		return probeOK
+	case http.StatusNotFound, http.StatusMethodNotAllowed:
+		_, _ = io.CopyN(io.Discard, resp.Body, 1<<10)
+		return probeUnsupported
+	default:
+		_, _ = io.CopyN(io.Discard, resp.Body, 1<<10)
+		return probeDeclined
+	}
+}
+
+// probeReadyz reports whether one backend answers /readyz with 200, feeding
+// the per-backend failure classification on the way.
+func (f *Front) probeReadyz(ctx context.Context, backend int, node string) bool {
 	ctx, cancel := context.WithTimeout(ctx, f.cfg.ProbeTimeout)
 	defer cancel()
 	hreq, err := http.NewRequestWithContext(ctx, http.MethodGet, node+"/readyz", nil)
@@ -213,6 +380,7 @@ func (f *Front) probeReadyz(ctx context.Context, node string) bool {
 	}
 	resp, err := f.client.Do(hreq)
 	if err != nil {
+		f.classifyProbeFailure(backend, err)
 		return false
 	}
 	defer resp.Body.Close()
@@ -273,6 +441,41 @@ func (f *Front) Stats() FrontStats {
 // completed window row.
 func (f *Front) ReplicationStats(dst []int64) {
 	f.rep.Stats(dst)
+}
+
+// Membership exposes the front's graded view of the cluster (nil when
+// gossip is disabled).
+func (f *Front) Membership() *gossip.Membership { return f.memb }
+
+// ProbeStats returns backend's cumulative probe-failure classification:
+// timeouts (the backend exists but is slow or wedged) versus refusals
+// (nothing answered at all). The front tier's /metrics surfaces both
+// per-backend.
+func (f *Front) ProbeStats(backend int) (timeouts, refused int64) {
+	if backend < 0 || backend >= len(f.nodes) {
+		return 0, 0
+	}
+	return f.probeTimeouts[backend].Load(), f.probeRefused[backend].Load()
+}
+
+// MembershipStatus names backend's current standing for metrics: the graded
+// gossip status ("alive", "suspect", "dead"), "declined" when its last probe
+// was an explicit non-200 answer, or "binary-ready"/"binary-unready" for
+// backends outside the detector's view.
+func (f *Front) MembershipStatus(backend int) string {
+	if backend < 0 || backend >= len(f.nodes) {
+		return "invalid"
+	}
+	if f.memb != nil && f.gossipOK[backend].Load() && f.memb.Heard(backend) {
+		if f.declined[backend].Load() {
+			return "declined"
+		}
+		return f.memb.Status(backend).String()
+	}
+	if f.ready[backend].Load() {
+		return "binary-ready"
+	}
+	return "binary-unready"
 }
 
 // ServeHTTP routes one client request to a backend and streams the response

@@ -20,13 +20,16 @@ package server
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"io"
 	"net/http"
+	"sync/atomic"
 	"time"
 
 	"darwin/internal/breaker"
 	"darwin/internal/cache"
+	"darwin/internal/gossip"
 	"darwin/internal/lb"
 	"darwin/internal/trace"
 )
@@ -65,6 +68,23 @@ type PeerConfig struct {
 	Breaker breaker.Config
 	// Client issues probes; nil builds one with the probe timeout.
 	Client *http.Client
+	// Replication configures the local hot-object tracker that approximates
+	// the front tier's placement (zero = defaults). fetchPeer probes only an
+	// object's designated holders — its first Factor(id) ring successors —
+	// so cold siblings are never disturbed for objects routing would not
+	// have placed on them.
+	Replication lb.ReplicationConfig
+	// RebalanceEvery is the replication observation window in requests
+	// (default 10_000, matching the front tier's routing window).
+	RebalanceEvery int
+	// DisableGossip turns the membership layer off: probes carry no digests,
+	// /gossip answers 404, and fetchPeer skips no one. The zero value keeps
+	// gossip on.
+	DisableGossip bool
+	// Gossip tunes the failure detector (thresholds, dwell, clock). Nodes
+	// and Self are overwritten with the cluster's values; a nil Clock means
+	// time.Now.
+	Gossip gossip.Config
 }
 
 // DefaultPeerBreaker returns the per-sibling breaker configuration: trip on
@@ -83,17 +103,28 @@ func DefaultPeerBreaker() breaker.Config {
 }
 
 // peerSet is the proxy's view of its cluster: the shared ring, sibling
-// breakers, and the probe client. Immutable after SetPeers; the ring is only
-// read through Successors, which is safe for concurrent handlers.
+// breakers, the probe client, and (unless disabled) the gossip membership
+// view plus the local replication tracker. The struct is immutable after
+// SetPeers; memb and rep are internally synchronized.
 type peerSet struct {
 	ring    *lb.Ring
 	self    int
 	nodes   []string
 	fanout  int
-	width   int // successors to walk: fanout siblings plus possibly self
+	width   int // successors to walk: enough to cover any replica set
 	timeout time.Duration
 	brks    []*breaker.Breaker
 	client  *http.Client
+
+	// memb is the gossip membership view (nil when DisableGossip): probes
+	// piggyback digests on it, and fetchPeer skips siblings it grades Dead.
+	memb *gossip.Membership
+	// rep approximates the front tier's replication placement from this
+	// node's own request stream; repEvery requests close an observation
+	// window (reqs counts them).
+	rep      *lb.Replicator
+	repEvery int64
+	reqs     atomic.Int64
 }
 
 // SetPeers wires the proxy into a peer cluster. Call once before serving
@@ -130,12 +161,15 @@ func (p *Proxy) SetPeers(cfg PeerConfig) error {
 	if err != nil {
 		return err
 	}
-	width := cfg.Fanout + 1 // the walk may pass through self
-	if width > len(cfg.Nodes) {
-		width = len(cfg.Nodes)
-	}
+	// The walk must cover the widest possible replica set (plus self, which
+	// the walk may pass through), not just the probe fanout: designated
+	// holders are the first Factor(id) successors.
+	width := len(cfg.Nodes)
 	if width > lb.MaxReplicas {
 		width = lb.MaxReplicas
+	}
+	if cfg.RebalanceEvery <= 0 {
+		cfg.RebalanceEvery = 10_000
 	}
 	brks := make([]*breaker.Breaker, len(cfg.Nodes))
 	for i := range brks {
@@ -145,17 +179,44 @@ func (p *Proxy) SetPeers(cfg PeerConfig) error {
 	if client == nil {
 		client = &http.Client{Timeout: cfg.FetchTimeout}
 	}
+	var memb *gossip.Membership
+	if !cfg.DisableGossip {
+		gcfg := cfg.Gossip
+		gcfg.Nodes = len(cfg.Nodes)
+		gcfg.Self = self
+		if gcfg.Clock == nil {
+			gcfg.Clock = time.Now
+		}
+		m, err := gossip.New(gcfg)
+		if err != nil {
+			return err
+		}
+		memb = m
+	}
 	p.peers = &peerSet{
-		ring:    ring,
-		self:    self,
-		nodes:   cfg.Nodes,
-		fanout:  cfg.Fanout,
-		width:   width,
-		timeout: cfg.FetchTimeout,
-		brks:    brks,
-		client:  client,
+		ring:     ring,
+		self:     self,
+		nodes:    cfg.Nodes,
+		fanout:   cfg.Fanout,
+		width:    width,
+		timeout:  cfg.FetchTimeout,
+		brks:     brks,
+		client:   client,
+		memb:     memb,
+		rep:      lb.NewReplicator(cfg.Replication),
+		repEvery: int64(cfg.RebalanceEvery),
 	}
 	return nil
+}
+
+// observe feeds one client request into the replication tracker, closing the
+// observation window every repEvery requests so the designated-holder map
+// tracks the live traffic mix on the same cadence as the front tier.
+func (ps *peerSet) observe(id uint64) {
+	ps.rep.Observe(id)
+	if ps.reqs.Add(1)%ps.repEvery == 0 {
+		ps.rep.Rebalance()
+	}
 }
 
 // isPeerProbe reports whether r is a sibling's probe (loop-guard header set).
@@ -168,8 +229,14 @@ func isPeerProbe(r *http.Request) bool {
 // exactly like client traffic) and streams from memory; anything else is an
 // immediate 404 — no origin fetch, no further peer hops. This is the
 // cluster's serving fast path (a darwinlint hotpath root): a probe costs a
-// residency check plus the zero-allocation local serve.
-func (p *Proxy) servePeerProbe(w http.ResponseWriter, req trace.Request) {
+// residency check plus the zero-allocation local serve. Probes also gossip:
+// the sibling's piggybacked digest merges in, and the answer — hit or 404 —
+// carries this node's fresh digest back.
+func (p *Proxy) servePeerProbe(w http.ResponseWriter, r *http.Request, req trace.Request) {
+	if ps := p.peers; ps.memb != nil {
+		ps.mergeGossip(r.Header)
+		w.Header()[GossipHeader] = []string{ps.gossipValue()}
+	}
 	if p.lk != nil {
 		if probe := p.lk.Lookup(req.ID); probe != cache.Miss {
 			res := p.serve(req)
@@ -182,19 +249,33 @@ func (p *Proxy) servePeerProbe(w http.ResponseWriter, req trace.Request) {
 	w.WriteHeader(http.StatusNotFound)
 }
 
-// fetchPeer tries to fill a miss from ring siblings before the origin hop:
-// the object's successor walk names the nodes front-tier routing (and
-// replication) would have sent it to. Probes respect each sibling's breaker;
-// a validated 200 reports success. Returns false when no sibling had the
-// object — the caller falls through to the resilient origin path.
+// fetchPeer tries to fill a miss from the object's designated holders — its
+// first Factor(id) ring successors, the exact nodes front-tier routing and
+// replication place it on. A cold object (factor 1) costs at most one probe
+// to its primary; a hot replicated object may probe up to Fanout of its
+// holders. Siblings the gossip layer grades Dead are skipped outright (no
+// point spending a probe timeout on a corpse), and each probe still respects
+// the sibling's breaker. Returns false when no holder had the object — the
+// caller falls through to the resilient origin path.
 func (p *Proxy) fetchPeer(ctx context.Context, id uint64, size int64) bool {
 	ps := p.peers
 	var dst [lb.MaxReplicas]int
 	k := ps.ring.Successors(id, dst[:ps.width])
+	holders := ps.rep.Factor(id)
+	if holders < 1 {
+		holders = 1
+	}
+	if holders > k {
+		holders = k
+	}
 	tried := 0
-	for i := 0; i < k && tried < ps.fanout; i++ {
+	for i := 0; i < holders && tried < ps.fanout; i++ {
 		node := dst[i]
 		if node == ps.self {
+			continue
+		}
+		if ps.memb != nil && ps.memb.Dead(node) {
+			p.stats.Add(id, psPeerSkipsDead, 1)
 			continue
 		}
 		tried++
@@ -220,7 +301,11 @@ func (p *Proxy) fetchPeer(ctx context.Context, id uint64, size int64) bool {
 // probe asks one sibling for an object. hit reports residency; healthy
 // feeds the sibling's breaker — a 404 is a healthy answer (the sibling is
 // up, the object just isn't there), while transport errors, non-200/404
-// statuses, and truncated bodies are failures.
+// statuses, and truncated bodies are failures. One exception: a probe that
+// died because the *client's* request context was cancelled says nothing
+// about the sibling — it is classified healthy-no-hit, so a burst of client
+// disconnects can never open a sibling's breaker. Probes carry the gossip
+// digest both ways.
 func (ps *peerSet) probe(ctx context.Context, node int, id uint64, size int64) (hit, healthy bool) {
 	ctx, cancel := context.WithTimeout(ctx, ps.timeout)
 	defer cancel()
@@ -229,11 +314,20 @@ func (ps *peerSet) probe(ctx context.Context, node int, id uint64, size int64) (
 		return false, false
 	}
 	hreq.Header[PeerHopHeader] = peerHopValue
+	if ps.memb != nil {
+		hreq.Header[GossipHeader] = []string{ps.gossipValue()}
+	}
 	resp, err := ps.client.Do(hreq)
 	if err != nil {
+		if errors.Is(err, context.Canceled) {
+			return false, true
+		}
 		return false, false
 	}
 	defer resp.Body.Close()
+	if ps.memb != nil {
+		ps.mergeGossip(resp.Header)
+	}
 	switch resp.StatusCode {
 	case http.StatusOK:
 		n, err := io.Copy(io.Discard, resp.Body)

@@ -1,6 +1,7 @@
 package server
 
 import (
+	"fmt"
 	"io"
 	"net/http"
 	"net/http/httptest"
@@ -8,6 +9,7 @@ import (
 
 	"darwin/internal/baselines"
 	"darwin/internal/cache"
+	"darwin/internal/lb"
 )
 
 // peerPair builds a 2-node cluster: two resilient sharded proxies over one
@@ -33,6 +35,27 @@ func peerPair(t *testing.T, originURL string) (a, b *Proxy, aSrv, bSrv *httptest
 		t.Fatal(err)
 	}
 	return a, b, aSrv, bSrv
+}
+
+// peerObjectID returns the first object id >= from whose ring primary is
+// node owner on an n-node cluster. Replica-aware peer fill only probes an
+// object's designated holders, so tests that want node A to probe node B
+// must pick ids the shared ring places on B. The ring here mirrors the one
+// SetPeers builds (same server count, default virtual nodes).
+func peerObjectID(t *testing.T, n, owner int, from uint64) uint64 {
+	t.Helper()
+	ring, err := lb.NewRing(lb.Config{Servers: n})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var dst [1]int
+	for id := from; id < from+1_000_000; id++ {
+		if ring.Successors(id, dst[:]) == 1 && dst[0] == owner {
+			return id
+		}
+	}
+	t.Fatalf("no object id in [%d,%d) with primary %d", from, from+1_000_000, owner)
+	return 0
 }
 
 func mustGet(t *testing.T, url string, hdr http.Header) *http.Response {
@@ -67,17 +90,20 @@ func TestPeerFillServesFromSibling(t *testing.T) {
 	defer aSrv.Close()
 	defer bSrv.Close()
 
-	// Warm object 42 on B: the Freq-1 expert admits on the second touch;
-	// the third confirms residency.
-	mustGet(t, bSrv.URL+"/obj/42?size=1000", nil)
-	mustGet(t, bSrv.URL+"/obj/42?size=1000", nil)
-	if resp := mustGet(t, bSrv.URL+"/obj/42?size=1000", nil); resp.Header.Get("X-Cache") == "miss" {
-		t.Fatal("object 42 not resident on B after warm-up")
+	// An object whose ring primary is B: A's replica-aware fill will probe
+	// exactly its designated holder. Warm it on B — the Freq-1 expert admits
+	// on the second touch; the third confirms residency.
+	id := peerObjectID(t, 2, 1, 1)
+	objURL := func(base string) string { return fmt.Sprintf("%s/obj/%d?size=1000", base, id) }
+	mustGet(t, objURL(bSrv.URL), nil)
+	mustGet(t, objURL(bSrv.URL), nil)
+	if resp := mustGet(t, objURL(bSrv.URL), nil); resp.Header.Get("X-Cache") == "miss" {
+		t.Fatalf("object %d not resident on B after warm-up", id)
 	}
 	originReqs, _ := origin.Stats()
 
-	// A has never seen 42: its miss must fill from B, not the origin.
-	resp := mustGet(t, aSrv.URL+"/obj/42?size=1000", nil)
+	// A has never seen the object: its miss must fill from B, not the origin.
+	resp := mustGet(t, objURL(aSrv.URL), nil)
 	if resp.StatusCode != http.StatusOK {
 		t.Fatalf("peer-filled request: status %d", resp.StatusCode)
 	}
@@ -101,12 +127,12 @@ func TestPeerFillServesFromSibling(t *testing.T) {
 	}
 	// A second touch fills from B again and — like a second origin miss —
 	// crosses the Freq-1 expert's admission threshold: journaled as an admit.
-	mustGet(t, aSrv.URL+"/obj/42?size=1000", nil)
+	mustGet(t, objURL(aSrv.URL), nil)
 	if m := a.Metrics(); m.DCWrites == 0 {
 		t.Fatalf("second peer fill did not admit: %+v", m)
 	}
-	if resp := mustGet(t, aSrv.URL+"/obj/42?size=1000", nil); resp.Header.Get("X-Cache") == "miss" {
-		t.Fatal("object 42 not resident on A after admitted peer fill")
+	if resp := mustGet(t, objURL(aSrv.URL), nil); resp.Header.Get("X-Cache") == "miss" {
+		t.Fatalf("object %d not resident on A after admitted peer fill", id)
 	}
 	if st := a.Stats(); st.PeerProbes != 2 {
 		t.Fatalf("locally-resident re-request probed a peer: probes=%d, want 2", st.PeerProbes)
@@ -125,7 +151,8 @@ func TestPeerProbeLoopGuard(t *testing.T) {
 	// Kill the origin so a probe loop could not hide behind an origin fill.
 	originSrv.Close()
 
-	resp := mustGet(t, aSrv.URL+"/obj/7?size=100", nil)
+	id := peerObjectID(t, 2, 1, 1) // primary on B, so A probes it
+	resp := mustGet(t, fmt.Sprintf("%s/obj/%d?size=100", aSrv.URL, id), nil)
 	if resp.StatusCode != http.StatusBadGateway {
 		t.Fatalf("dead origin + cold cluster: status %d, want 502", resp.StatusCode)
 	}
@@ -142,7 +169,7 @@ func TestPeerProbeLoopGuard(t *testing.T) {
 
 	// A probe sent directly to a node is answered 404 (never forwarded),
 	// even though the node's own sibling holds nothing either.
-	probe := mustGet(t, bSrv.URL+"/obj/7?size=100", http.Header{PeerHopHeader: {"1"}})
+	probe := mustGet(t, fmt.Sprintf("%s/obj/%d?size=100", bSrv.URL, id), http.Header{PeerHopHeader: {"1"}})
 	if probe.StatusCode != http.StatusNotFound {
 		t.Fatalf("nonresident probe: status %d, want 404", probe.StatusCode)
 	}
@@ -161,10 +188,17 @@ func TestPeerBreakerStopsProbingDeadSibling(t *testing.T) {
 	defer aSrv.Close()
 	bSrv.Close() // sibling dies immediately
 
-	// MinRequests for the default peer breaker is 4: a handful of misses
-	// trips it, after which probes are rejected without network I/O.
+	// MinRequests for the default peer breaker is 4: a handful of misses on
+	// B-primary objects trips it, after which probes are rejected without
+	// network I/O.
+	ids := make([]uint64, 10)
+	next := uint64(1)
+	for i := range ids {
+		ids[i] = peerObjectID(t, 2, 1, next)
+		next = ids[i] + 1
+	}
 	for i := 0; i < 12; i++ {
-		mustGet(t, aSrv.URL+"/obj/"+string(rune('0'+i%10))+"?size=50", nil)
+		mustGet(t, fmt.Sprintf("%s/obj/%d?size=50", aSrv.URL, ids[i%10]), nil)
 	}
 	st := a.Stats()
 	if st.PeerErrors < 4 {

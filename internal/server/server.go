@@ -264,6 +264,11 @@ const (
 	psPeerErrors
 	psPeerRejects
 	psPeerServed
+	psPeerSkipsDead
+	psGossipExchanges
+	psStateMerges
+	psStateRejects
+	psStatePushes
 	psWidth
 )
 
@@ -308,6 +313,16 @@ type ProxyStats struct {
 	PeerProbes, PeerFills, PeerErrors, PeerRejects int64
 	// PeerServed counts sibling probes this node answered with a hit.
 	PeerServed int64
+	// PeerSkipsDead counts probes suppressed because the gossip layer
+	// graded the designated holder Dead.
+	PeerSkipsDead int64
+	// GossipExchanges counts /gossip requests answered.
+	GossipExchanges int64
+	// StateMerges counts donor checkpoint frames accepted on /state;
+	// StateRejects counts frames refused by validation (the inheritor's
+	// state was untouched); StatePushes counts drain-time frames this node
+	// delivered to its ring successor.
+	StateMerges, StateRejects, StatePushes int64
 }
 
 // Proxy is the CDN edge server.
@@ -353,6 +368,10 @@ type Proxy struct {
 	// peers is the cluster's peer-fill layer (peer.go); nil outside a
 	// cluster. Immutable after SetPeers.
 	peers *peerSet
+
+	// handoff wires /state to the binary's checkpoint codec (zero when the
+	// drain-time handoff is not enabled).
+	handoff StateHandoff
 
 	rngMu sync.Mutex
 	rng   *rand.Rand // guarded by rngMu; retry jitter only
@@ -451,6 +470,11 @@ func (p *Proxy) Stats() ProxyStats {
 		PeerErrors:        v[psPeerErrors],
 		PeerRejects:       v[psPeerRejects],
 		PeerServed:        v[psPeerServed],
+		PeerSkipsDead:     v[psPeerSkipsDead],
+		GossipExchanges:   v[psGossipExchanges],
+		StateMerges:       v[psStateMerges],
+		StateRejects:      v[psStateRejects],
+		StatePushes:       v[psStatePushes],
 	}
 }
 
@@ -474,8 +498,14 @@ func (p *Proxy) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 		// overload machinery — the probe path is strictly cheaper than the
 		// admission work that would guard it, and must never recurse into
 		// peer or origin fetches (loop guard).
-		p.servePeerProbe(w, req)
+		p.servePeerProbe(w, r, req)
 		return
+	}
+	if p.peers != nil {
+		// Client traffic feeds the replication tracker (probes don't: the
+		// prober already counted the request), so the designated-holder map
+		// mirrors what the front tier's replicator sees.
+		p.peers.observe(id)
 	}
 	if p.ov.Enabled {
 		// Admission control runs before any cache or origin work: a request
